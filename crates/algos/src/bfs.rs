@@ -1,0 +1,100 @@
+//! Breadth-first search: hop depth from a source.
+//!
+//! Structurally SSSP with unit edge weights. Each vertex is activated at
+//! most once in the ideal schedule (the paper notes BFS barely benefits
+//! from contribution-driven scheduling for exactly this reason).
+
+use crate::UNREACHED;
+use hyt_core::api::{EdgeCtx, InitialFrontier, VertexProgram};
+use hyt_graph::VertexId;
+
+/// BFS vertex program.
+#[derive(Clone, Copy, Debug)]
+pub struct Bfs {
+    source: VertexId,
+}
+
+impl Bfs {
+    /// Depths from `source`.
+    pub fn from_source(source: VertexId) -> Self {
+        Bfs { source }
+    }
+
+    /// The configured source vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl VertexProgram for Bfs {
+    type Value = u32;
+
+    fn init(&self, v: VertexId) -> u32 {
+        if v == self.source { 0 } else { UNREACHED }
+    }
+
+    fn initial_frontier(&self) -> InitialFrontier {
+        InitialFrontier::Set(vec![self.source])
+    }
+
+    fn message(&self, seed: u32, _ctx: EdgeCtx) -> Option<u32> {
+        (seed != UNREACHED).then(|| seed.saturating_add(1))
+    }
+
+    fn accumulate(&self, state: u32, msg: u32) -> Option<u32> {
+        (msg < state).then_some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use hyt_core::{HyTGraphConfig, HyTGraphSystem, SystemKind};
+    use hyt_graph::generators;
+
+    #[test]
+    fn chain_depths_ignore_weights() {
+        // Weighted chain with weight-1 edges replaced by heavy ones: BFS
+        // must still count hops.
+        let mut b = hyt_graph::CsrBuilder::new(4, true);
+        b.add_weighted_edge(0, 1, 50);
+        b.add_weighted_edge(1, 2, 50);
+        b.add_weighted_edge(2, 3, 50);
+        let g = b.build();
+        let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+        let r = sys.run(Bfs::from_source(0));
+        assert_eq!(r.values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rmat_matches_reference_bfs() {
+        let g = generators::rmat(10, 8.0, 23, false);
+        let oracle = reference::bfs_depths(&g, 0);
+        let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+        let r = sys.run(Bfs::from_source(0));
+        assert_eq!(r.values, oracle);
+    }
+
+    #[test]
+    fn all_systems_agree() {
+        let g = generators::power_law_local(1500, 8.0, 1.8, 0.5, 30, 9, false);
+        let oracle = reference::bfs_depths(&g, 7);
+        for kind in SystemKind::TABLE5 {
+            let cfg = kind.configure(HyTGraphConfig::default());
+            let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+            let r = sys.run(Bfs::from_source(7));
+            assert_eq!(r.values, oracle, "system {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn isolated_source() {
+        let g = generators::star(5, false);
+        // Source 3 has no out-edges.
+        let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+        let r = sys.run(Bfs::from_source(3));
+        assert_eq!(r.values[3], 0);
+        assert_eq!(r.values.iter().filter(|&&d| d == UNREACHED).count(), 4);
+    }
+}

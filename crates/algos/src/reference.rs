@@ -1,0 +1,191 @@
+//! Sequential reference implementations (oracles).
+//!
+//! Deliberately simple textbook algorithms with no sharing with the system
+//! under test: Dijkstra with a binary heap, queue BFS, worklist label
+//! propagation, dense power iteration. Every vertex program's converged
+//! output is asserted against these in unit and integration tests.
+
+use crate::UNREACHED;
+use hyt_graph::{Csr, VertexId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Dijkstra single-source shortest paths ([`UNREACHED`] when unreachable).
+pub fn dijkstra(graph: &Csr, source: VertexId) -> Vec<u32> {
+    let nv = graph.num_vertices() as usize;
+    let mut dist = vec![UNREACHED; nv];
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u32, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.edges_of(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// BFS hop depths ([`UNREACHED`] when unreachable).
+pub fn bfs_depths(graph: &Csr, source: VertexId) -> Vec<u32> {
+    let nv = graph.num_vertices() as usize;
+    let mut depth = vec![UNREACHED; nv];
+    depth[source as usize] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = depth[u as usize];
+        for (v, _) in graph.edges_of(u) {
+            if depth[v as usize] == UNREACHED {
+                depth[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    depth
+}
+
+/// Min-label propagation fixpoint: `label(v)` = min id over `{v} ∪ {u : u
+/// can reach v}`. Equals connected components on symmetric graphs.
+pub fn cc_labels(graph: &Csr) -> Vec<u32> {
+    let nv = graph.num_vertices() as usize;
+    let mut label: Vec<u32> = (0..nv as u32).collect();
+    let mut q: VecDeque<u32> = (0..nv as u32).collect();
+    let mut in_q = vec![true; nv];
+    while let Some(u) = q.pop_front() {
+        in_q[u as usize] = false;
+        let lu = label[u as usize];
+        for (v, _) in graph.edges_of(u) {
+            if lu < label[v as usize] {
+                label[v as usize] = lu;
+                if !in_q[v as usize] {
+                    in_q[v as usize] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Unnormalised PageRank by Jacobi power iteration:
+/// `rank(v) = (1-d) + d·Σ_{u→v} rank(u)/Do(u)`.
+pub fn pagerank(graph: &Csr, damping: f64, iterations: u32) -> Vec<f64> {
+    let nv = graph.num_vertices() as usize;
+    let out_deg = graph.out_degrees();
+    let mut rank = vec![1.0 - damping; nv];
+    let mut next = vec![0.0f64; nv];
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|x| *x = 1.0 - damping);
+        for u in 0..nv as u32 {
+            let du = out_deg[u as usize];
+            if du == 0 {
+                continue;
+            }
+            let share = damping * rank[u as usize] / du as f64;
+            for (v, _) in graph.edges_of(u) {
+                next[v as usize] += share;
+            }
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// PHP scores by synchronous Δ propagation: source pinned to 1 and
+/// absorbing; messages are decay-and-weight-normalised (see `crate::php`).
+pub fn php(graph: &Csr, source: VertexId, decay: f64, iterations: u32) -> Vec<f64> {
+    let nv = graph.num_vertices() as usize;
+    let weighted_deg: Vec<f64> = (0..nv as u32)
+        .map(|u| {
+            if graph.is_weighted() {
+                graph.weights_of(u).iter().map(|&w| w as f64).sum()
+            } else {
+                graph.out_degree(u) as f64
+            }
+        })
+        .collect();
+    let mut score = vec![0.0f64; nv];
+    let mut delta = vec![0.0f64; nv];
+    delta[source as usize] = 1.0;
+    for _ in 0..iterations {
+        let mut next_delta = vec![0.0f64; nv];
+        for u in 0..nv as u32 {
+            let d = delta[u as usize];
+            if d == 0.0 || weighted_deg[u as usize] == 0.0 {
+                continue;
+            }
+            for (v, w) in graph.edges_of(u) {
+                if v == source {
+                    continue; // absorbed
+                }
+                next_delta[v as usize] += decay * d * w as f64 / weighted_deg[u as usize];
+            }
+        }
+        for v in 0..nv {
+            if v != source as usize {
+                score[v] += next_delta[v];
+            }
+        }
+        delta = next_delta;
+        delta[source as usize] = 0.0;
+    }
+    score[source as usize] = 1.0;
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyt_graph::generators;
+
+    #[test]
+    fn dijkstra_on_chain() {
+        let g = generators::chain(5, true);
+        assert_eq!(dijkstra(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(dijkstra(&g, 2), vec![UNREACHED, UNREACHED, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_equals_dijkstra_on_unit_weights() {
+        let g = generators::rmat(9, 6.0, 3, false); // unweighted => w = 1
+        assert_eq!(bfs_depths(&g, 0), dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn cc_on_disjoint_chains() {
+        let mut el = hyt_graph::EdgeList::new(6);
+        el.push(0, 1);
+        el.push(1, 0);
+        el.push(4, 5);
+        el.push(5, 4);
+        let g = el.to_csr();
+        assert_eq!(cc_labels(&g), vec![0, 0, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn pagerank_sums_are_stable() {
+        // Residual decays like damping^iters: 0.85^200 ≈ 6e-15.
+        let g = generators::rmat(8, 8.0, 1, false);
+        let r200 = pagerank(&g, 0.85, 200);
+        let r300 = pagerank(&g, 0.85, 300);
+        let err: f64 =
+            r200.iter().zip(&r300).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-9, "not converged: {err}");
+    }
+
+    #[test]
+    fn php_chain_decays_geometrically() {
+        let g = generators::chain(5, true);
+        let s = php(&g, 0, 0.8, 50);
+        assert_eq!(s[0], 1.0);
+        assert!((s[1] - 0.8).abs() < 1e-12);
+        assert!((s[2] - 0.64).abs() < 1e-12);
+    }
+}

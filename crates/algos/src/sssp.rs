@@ -1,0 +1,116 @@
+//! Single-source shortest paths (the paper's running example, Fig. 1).
+//!
+//! Push-mode Bellman-Ford: an active vertex sends `dist(u) + w(u,v)` to
+//! each out-neighbour; a neighbour whose distance shrinks becomes active.
+//! Value-replacement family: monotone min-fold, safe under any degree of
+//! asynchrony (a relaxation can only improve).
+
+use crate::UNREACHED;
+use hyt_core::api::{EdgeCtx, InitialFrontier, VertexProgram};
+use hyt_graph::VertexId;
+
+/// SSSP vertex program.
+#[derive(Clone, Copy, Debug)]
+pub struct Sssp {
+    source: VertexId,
+}
+
+impl Sssp {
+    /// Shortest paths from `source`.
+    pub fn from_source(source: VertexId) -> Self {
+        Sssp { source }
+    }
+
+    /// The configured source vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl VertexProgram for Sssp {
+    type Value = u32;
+
+    const NEEDS_WEIGHTS: bool = true;
+
+    fn init(&self, v: VertexId) -> u32 {
+        if v == self.source { 0 } else { UNREACHED }
+    }
+
+    fn initial_frontier(&self) -> InitialFrontier {
+        InitialFrontier::Set(vec![self.source])
+    }
+
+    fn message(&self, seed: u32, ctx: EdgeCtx) -> Option<u32> {
+        (seed != UNREACHED).then(|| seed.saturating_add(ctx.weight))
+    }
+
+    fn accumulate(&self, state: u32, msg: u32) -> Option<u32> {
+        (msg < state).then_some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use hyt_core::{HyTGraphConfig, HyTGraphSystem, SystemKind};
+    use hyt_graph::generators;
+
+    fn check_against_oracle(g: hyt_graph::Csr, source: VertexId) {
+        let oracle = reference::dijkstra(&g, source);
+        let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+        let result = sys.run(Sssp::from_source(source));
+        assert_eq!(result.values, oracle);
+    }
+
+    #[test]
+    fn chain_distances() {
+        check_against_oracle(generators::chain(64, true), 0);
+    }
+
+    #[test]
+    fn star_distances() {
+        check_against_oracle(generators::star(100, true), 0);
+    }
+
+    #[test]
+    fn rmat_matches_dijkstra() {
+        check_against_oracle(generators::rmat(10, 8.0, 11, true), 0);
+    }
+
+    #[test]
+    fn power_law_matches_dijkstra() {
+        check_against_oracle(generators::power_law_local(2000, 10.0, 1.8, 0.7, 40, 3, true), 5);
+    }
+
+    #[test]
+    fn unreachable_stay_unreached() {
+        // Chain with source at the end: nothing downstream.
+        let g = generators::chain(10, true);
+        let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+        let r = sys.run(Sssp::from_source(9));
+        assert_eq!(r.values[9], 0);
+        assert!(r.values[..9].iter().all(|&d| d == UNREACHED));
+        assert_eq!(r.iterations, 1); // source scatters into nothing
+    }
+
+    #[test]
+    fn every_system_agrees_with_oracle() {
+        let g = generators::rmat(9, 8.0, 17, true);
+        let oracle = reference::dijkstra(&g, 0);
+        for kind in SystemKind::TABLE5 {
+            let cfg = kind.configure(HyTGraphConfig::default());
+            let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+            let r = sys.run(Sssp::from_source(0));
+            assert_eq!(r.values, oracle, "system {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn unweighted_graph_counts_hops() {
+        let g = generators::chain(5, false); // weight defaults to 1
+        let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+        let r = sys.run(Sssp::from_source(0));
+        assert_eq!(r.values, vec![0, 1, 2, 3, 4]);
+    }
+}

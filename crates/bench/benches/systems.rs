@@ -1,0 +1,110 @@
+//! Whole-system benchmarks: wall-clock cost of regenerating each paper
+//! experiment family on reduced inputs. These measure the *harness*
+//! (real computation + simulation bookkeeping), complementing the `repro`
+//! binary which reports *simulated* times.
+//!
+//! One group per table/figure family:
+//! * `table5_systems` — one run per Table V system (SSSP).
+//! * `table6_counters` — a transfer-ratio measurement (PR).
+//! * `fig8_ablation` — the Hybrid → +TC → +CDS ladder.
+//! * `fig9_scaling` — smallest and largest RMAT sweep points.
+//! * `fig10_gpus` — one run per GPU preset.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hyt_algos::{PageRank, Sssp};
+use hyt_core::{HyTGraphConfig, HyTGraphSystem, SystemKind};
+use hyt_graph::generators;
+use hyt_sim::{GpuModel, MachineModel};
+
+fn small_graph() -> hyt_graph::Csr {
+    generators::rmat(12, 8.0, 77, true)
+}
+
+fn bench_table5_systems(c: &mut Criterion) {
+    let graph = small_graph();
+    let mut g = c.benchmark_group("table5_systems");
+    for kind in SystemKind::TABLE5 {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let cfg = kind.configure(HyTGraphConfig::default());
+                let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
+                black_box(sys.run(Sssp::from_source(0)).total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table6_counters(c: &mut Criterion) {
+    let graph = small_graph();
+    let mut g = c.benchmark_group("table6_counters");
+    g.bench_function("hytgraph_pr_transfer_ratio", |b| {
+        b.iter(|| {
+            let cfg = SystemKind::HyTGraph.configure(HyTGraphConfig::default());
+            let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
+            let r = sys.run(PageRank::new());
+            black_box(r.counters.transfer_ratio(sys.num_edges() * 4))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8_ablation(c: &mut Criterion) {
+    let graph = small_graph();
+    let mut g = c.benchmark_group("fig8_ablation");
+    for kind in [SystemKind::HybridBase, SystemKind::HybridTc, SystemKind::HyTGraph] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let cfg = kind.configure(HyTGraphConfig::default());
+                let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
+                black_box(sys.run(Sssp::from_source(0)).total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_scaling");
+    for (label, scale, ef) in [("small", 11u32, 8.0), ("large", 14, 16.0)] {
+        let graph = generators::rmat(scale, ef, 5, true);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SystemKind::HyTGraph.configure(HyTGraphConfig::default());
+                let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
+                black_box(sys.run(Sssp::from_source(0)).total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_gpus(c: &mut Criterion) {
+    let graph = small_graph();
+    let mut g = c.benchmark_group("fig10_gpus");
+    for gpu in GpuModel::fig10_sweep() {
+        g.bench_function(gpu.name, |b| {
+            b.iter(|| {
+                let cfg = HyTGraphConfig {
+                    machine: MachineModel::from_gpu(gpu).scaled(10),
+                    ..HyTGraphConfig::default()
+                };
+                let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
+                black_box(sys.run(Sssp::from_source(0)).total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table5_systems,
+        bench_table6_counters,
+        bench_fig8_ablation,
+        bench_fig9_scaling,
+        bench_fig10_gpus
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list            # show available experiments
+//! repro table5          # run one experiment
+//! repro fig3a fig3b     # run several
+//! repro all             # run everything, in paper order
+//! ```
+
+use hyt_bench::context::Ctx;
+use hyt_bench::experiments::registry;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --json: emit machine-readable output (one JSON array of tables per
+    // experiment) instead of rendered text.
+    let json = if let Some(i) = args.iter().position(|a| a == "--json") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let experiments = registry();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <experiment>... | all | list");
+        eprintln!("experiments:");
+        for e in &experiments {
+            eprintln!("  {:8}  {}", e.name, e.about);
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args[0] == "list" {
+        for e in &experiments {
+            println!("{:8}  {}", e.name, e.about);
+        }
+        println!("{:8}  {}", "check", "verify the reproduced shape claims programmatically");
+        return;
+    }
+    if args[0] == "check" {
+        let mut ctx = Ctx::new();
+        let results = hyt_bench::check::run_all(&mut ctx);
+        let mut failed = 0;
+        for r in &results {
+            println!("[{}] {}", if r.pass { "PASS" } else { "FAIL" }, r.claim);
+            println!("        {}", r.evidence);
+            failed += (!r.pass) as u32;
+        }
+        println!("\n{}/{} shape claims hold", results.len() as u32 - failed, results.len());
+        std::process::exit(if failed == 0 { 0 } else { 1 });
+    }
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments.iter().map(|e| e.name).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for name in &selected {
+        if !experiments.iter().any(|e| e.name == *name) {
+            eprintln!("unknown experiment '{name}' (try `repro list`)");
+            std::process::exit(2);
+        }
+    }
+    let mut ctx = Ctx::new();
+    for name in selected {
+        let e = experiments.iter().find(|e| e.name == name).unwrap();
+        let start = Instant::now();
+        eprintln!(">> running {name}: {}", e.about);
+        let tables = (e.run)(&mut ctx);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&tables).expect("tables serialise"));
+        } else {
+            for table in &tables {
+                table.print();
+            }
+        }
+        eprintln!("<< {name} done in {:.1}s\n", start.elapsed().as_secs_f64());
+    }
+}

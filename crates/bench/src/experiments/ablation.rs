@@ -1,0 +1,73 @@
+//! Extension: ablation sweeps over the design constants DESIGN.md calls
+//! out (α, β, task-combining width k, partition size, hub fraction).
+//!
+//! The paper fixes these (Sections V–VI) without sensitivity analysis;
+//! this experiment shows each default sits on a plateau, i.e. HyTGraph is
+//! not tuned to a cliff edge.
+
+use crate::context::{base_config, run_algo_with_config, Ctx};
+use crate::table::{secs, times, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::{HyTGraphConfig, SelectParams, SystemKind};
+use hyt_graph::DatasetId;
+
+fn hyt(cfg: HyTGraphConfig) -> HyTGraphConfig {
+    SystemKind::HyTGraph.configure(cfg)
+}
+
+/// Run the five sweeps on SSSP/TW (the most engine-diverse workload).
+pub fn run(ctx: &mut Ctx) -> Vec<Table> {
+    let g = ctx.graph(DatasetId::Tw);
+    let run = |cfg: HyTGraphConfig| {
+        let m = run_algo_with_config(SystemKind::HyTGraph, AlgoKind::Sssp, &g, cfg);
+        (m.total_time, m.transfer_ratio())
+    };
+    let mut out = Vec::new();
+
+    let mut t = Table::new("Ablation: alpha (paper 0.8)", &["alpha", "SSSP", "transfer"]);
+    for alpha in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mut cfg = hyt(base_config());
+        cfg.select_params = SelectParams { alpha, ..cfg.select_params };
+        let (time, ratio) = run(cfg);
+        t.row(vec![format!("{alpha}"), secs(time), times(ratio)]);
+    }
+    out.push(t);
+
+    let mut t = Table::new("Ablation: beta (paper 0.4)", &["beta", "SSSP", "transfer"]);
+    for beta in [0.0, 0.1, 0.2, 0.4, 0.8, 1.6] {
+        let mut cfg = hyt(base_config());
+        cfg.select_params = SelectParams { beta, ..cfg.select_params };
+        let (time, ratio) = run(cfg);
+        t.row(vec![format!("{beta}"), secs(time), times(ratio)]);
+    }
+    out.push(t);
+
+    let mut t = Table::new("Ablation: combine width k (paper 4)", &["k", "SSSP", "transfer"]);
+    for k in [1usize, 2, 4, 8, 16, 64] {
+        let cfg = HyTGraphConfig { combine_k: k, ..hyt(base_config()) };
+        let (time, ratio) = run(cfg);
+        t.row(vec![k.to_string(), secs(time), times(ratio)]);
+    }
+    out.push(t);
+
+    let mut t = Table::new(
+        "Ablation: partition bytes (paper 32 MB, scaled 32 KB)",
+        &["partition", "SSSP", "transfer"],
+    );
+    for kb in [4u64, 8, 16, 32, 64, 128, 512] {
+        let cfg = HyTGraphConfig { partition_bytes: kb << 10, ..hyt(base_config()) };
+        let (time, ratio) = run(cfg);
+        t.row(vec![format!("{kb}KB"), secs(time), times(ratio)]);
+    }
+    out.push(t);
+
+    let mut t = Table::new("Ablation: hub fraction (paper 8%)", &["fraction", "SSSP", "transfer"]);
+    for frac in [0.0, 0.02, 0.04, 0.08, 0.16, 0.32] {
+        let cfg = HyTGraphConfig { hub_fraction: frac, ..hyt(base_config()) };
+        let (time, ratio) = run(cfg);
+        t.row(vec![format!("{:.0}%", frac * 100.0), secs(time), times(ratio)]);
+    }
+    out.push(t);
+
+    out
+}

@@ -1,0 +1,38 @@
+//! Figure 10: performance across GPU generations (GTX 1080, P100,
+//! 2080Ti) on the FS proxy, normalised to Subway.
+
+use crate::context::{config_for_gpu, run_algo, Ctx};
+use crate::table::{times, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::SystemKind;
+use hyt_graph::DatasetId;
+use hyt_sim::GpuModel;
+
+/// Regenerate Fig. 10 for PageRank and SSSP.
+pub fn run(ctx: &mut Ctx) -> Vec<Table> {
+    let g = ctx.graph(DatasetId::Fs);
+    let systems =
+        [SystemKind::Subway, SystemKind::Grus, SystemKind::Emogi, SystemKind::HyTGraph];
+    let mut out = Vec::new();
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp] {
+        let mut t = Table::new(
+            format!("Fig 10 ({}): speedup over Subway per GPU (FS)", algo.name()),
+            &["GPU", "Subway", "Grus", "EMOGI", "HyTGraph"],
+        );
+        for gpu in GpuModel::fig10_sweep() {
+            let cfg = config_for_gpu(gpu);
+            let runs: Vec<f64> = systems
+                .iter()
+                .map(|&s| run_algo(s, algo, &g, cfg.clone()).total_time)
+                .collect();
+            let subway = runs[0];
+            t.row(
+                std::iter::once(gpu.name.to_string())
+                    .chain(runs.iter().map(|&x| times(subway / x)))
+                    .collect(),
+            );
+        }
+        out.push(t);
+    }
+    out
+}

@@ -1,0 +1,289 @@
+//! Figure 3: the motivating study of the four transfer approaches.
+//!
+//! All sub-figures run on the FK proxy (friendster-konect), as in the
+//! paper, with synchronous processing so every engine sees the same
+//! frontier trajectory.
+
+use crate::context::{base_config, run_algo, run_algo_with_config, Ctx, RunMetrics};
+use crate::table::{pct, secs, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::{AsyncMode, HyTGraphConfig, Selection, SystemKind};
+use hyt_graph::{DatasetId, DegreeStats};
+
+/// Sample per-iteration series down to at most `n` evenly spaced rows so
+/// tables stay readable (the paper plots curves; we print samples).
+fn sample_iters(len: usize, n: usize) -> Vec<usize> {
+    if len <= n {
+        return (0..len).collect();
+    }
+    (0..n).map(|i| i * (len - 1) / (n - 1)).collect()
+}
+
+/// The synchronous pure-engine configuration used across Fig. 3.
+fn sync_engine_config(selection: Selection) -> HyTGraphConfig {
+    HyTGraphConfig {
+        selection,
+        async_mode: AsyncMode::Sync,
+        task_combining: true,
+        contribution_scheduling: false,
+        ..base_config()
+    }
+}
+
+/// Fig. 3(a): proportion of active edges vs active partitions under
+/// ExpTM-filter, per iteration, PR and SSSP on FK, 256 partitions.
+pub fn run_a(ctx: &mut Ctx) -> Vec<Table> {
+    let g = ctx.graph(DatasetId::Fk);
+    // The paper fixes 256 partitions for this sub-figure.
+    let mut cfg = sync_engine_config(Selection::FilterOnly);
+    cfg.partition_bytes = (g.edge_bytes() / 256).max(1);
+    let mut out = Vec::new();
+    let mut summary = Table::new(
+        "Fig 3(a) summary: active edges as share of ExpTM-filter transfer volume",
+        &["Algorithm", "active-edge share"],
+    );
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp] {
+        let m = run_algo_with_config(SystemKind::ExpFilter, algo, &g, cfg.clone());
+        let mut t = Table::new(
+            format!("Fig 3(a): {} on FK - active edges vs active partitions", algo.name()),
+            &["iter", "actEdge", "actPrt"],
+        );
+        let total_edges = g.num_edges() as f64;
+        for i in sample_iters(m.per_iteration.len(), 20) {
+            let it = &m.per_iteration[i];
+            t.row(vec![
+                it.iteration.to_string(),
+                pct(it.active_edges as f64 / total_edges),
+                pct(it.active_partitions as f64 / it.total_partitions.max(1) as f64),
+            ]);
+        }
+        // Paper: active edges are only 12.3% (PR) / 28.3% (SSSP) of the
+        // volume actually shipped by filter.
+        let active_bytes: u64 = m
+            .per_iteration
+            .iter()
+            .map(|it| it.active_edges * (m.edge_bytes / g.num_edges().max(1)))
+            .sum();
+        let share = active_bytes as f64 / m.counters.explicit_bytes.max(1) as f64;
+        summary.row(vec![algo.name().to_string(), pct(share)]);
+        out.push(t);
+    }
+    out.push(summary);
+    out
+}
+
+/// Fig. 3(b): per-iteration compaction/transfer/computation breakdown of
+/// ExpTM-compaction (Subway) for PR and SSSP on FK.
+pub fn run_b(ctx: &mut Ctx) -> Vec<Table> {
+    let g = ctx.graph(DatasetId::Fk);
+    let mut out = Vec::new();
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp] {
+        let m = run_algo(SystemKind::Subway, algo, &g, base_config());
+        let mut t = Table::new(
+            format!("Fig 3(b): Subway per-iteration breakdown, {} on FK", algo.name()),
+            &["iter", "compaction", "transfer", "computation", "total"],
+        );
+        for i in sample_iters(m.per_iteration.len(), 20) {
+            let it = &m.per_iteration[i];
+            t.row(vec![
+                it.iteration.to_string(),
+                secs(it.compaction_time),
+                secs(it.transfer_time),
+                secs(it.compute_time),
+                secs(it.time),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Fig. 3(c): overall Subway breakdown on the five graphs (SSSP); the
+/// paper reports compaction at ~34.5 % of total runtime.
+pub fn run_c(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 3(c): Subway overall breakdown (SSSP)",
+        &["Dataset", "compaction", "transfer", "computation", "compaction share"],
+    );
+    for ds in DatasetId::ALL {
+        let g = ctx.graph(ds);
+        let m = run_algo(SystemKind::Subway, AlgoKind::Sssp, &g, base_config());
+        let (c, tr, k) = phase_totals(&m);
+        t.row(vec![
+            ds.name().to_string(),
+            secs(c),
+            secs(tr),
+            secs(k),
+            pct(c / (c + tr + k).max(1e-12)),
+        ]);
+    }
+    vec![t]
+}
+
+fn phase_totals(m: &RunMetrics) -> (f64, f64, f64) {
+    let mut t = (0.0, 0.0, 0.0);
+    for it in &m.per_iteration {
+        t.0 += it.compaction_time;
+        t.1 += it.transfer_time;
+        t.2 += it.compute_time;
+    }
+    t
+}
+
+/// Fig. 3(d): active edges vs transferred pages under ImpTM-UM on FK.
+pub fn run_d(ctx: &mut Ctx) -> Vec<Table> {
+    let g = ctx.graph(DatasetId::Fk);
+    let mut out = Vec::new();
+    let mut summary = Table::new(
+        "Fig 3(d) summary: active edges as share of UM page-transfer volume",
+        &["Algorithm", "active-edge share"],
+    );
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp] {
+        let m = run_algo(SystemKind::ImpUnified, algo, &g, base_config());
+        let bpe = m.edge_bytes / g.num_edges().max(1);
+        let mut t = Table::new(
+            format!("Fig 3(d): {} on FK - active edges vs faulted pages", algo.name()),
+            &["iter", "actEdge", "actPageBytes/|E|bytes"],
+        );
+        for i in sample_iters(m.per_iteration.len(), 20) {
+            let it = &m.per_iteration[i];
+            t.row(vec![
+                it.iteration.to_string(),
+                pct(it.active_edges as f64 / g.num_edges() as f64),
+                pct(it.counters.um_bytes as f64 / m.edge_bytes as f64),
+            ]);
+        }
+        let active_bytes: u64 = m.per_iteration.iter().map(|it| it.active_edges * bpe).sum();
+        let share = active_bytes as f64 / m.counters.um_bytes.max(1) as f64;
+        summary.row(vec![algo.name().to_string(), pct(share.min(1.0))]);
+        out.push(t);
+    }
+    out.push(summary);
+    out
+}
+
+/// Fig. 3(e): zero-copy throughput at 32/64/96/128-byte request
+/// granularity vs cudaMemcpy.
+pub fn run_e(_ctx: &mut Ctx) -> Vec<Table> {
+    let pcie = base_config().machine.pcie;
+    let mut t = Table::new(
+        "Fig 3(e): zero-copy throughput vs request granularity",
+        &["request size", "zero-copy", "cudaMemcpy"],
+    );
+    for gran in [32u64, 64, 96, 128] {
+        t.row(vec![
+            format!("{gran}-B"),
+            format!("{:.1} GB/s", pcie.throughput_at_granularity(gran) / 1e9),
+            format!("{:.1} GB/s", pcie.explicit_bw / 1e9),
+        ]);
+    }
+    vec![t]
+}
+
+/// Fig. 3(f): out-degree distribution of the five proxy graphs.
+pub fn run_f(ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 3(f): out-degree distribution",
+        &["Dataset", "[0,8)", "[8,16)", "[16,24)", "[24,32)", "[32,)", "<32 total"],
+    );
+    for ds in DatasetId::ALL {
+        let g = ctx.graph(ds);
+        let s = DegreeStats::compute(&g);
+        let fr = s.fractions();
+        t.row(vec![
+            ds.name().to_string(),
+            pct(fr[0]),
+            pct(fr[1]),
+            pct(fr[2]),
+            pct(fr[3]),
+            pct(fr[4]),
+            pct(s.fraction_below(32)),
+        ]);
+    }
+    vec![t]
+}
+
+/// Fig. 3(g)/(h): per-iteration runtime of the four approaches, sync mode,
+/// with the per-iteration "Prefer" winner.
+pub fn run_gh(ctx: &mut Ctx) -> Vec<Table> {
+    let g = ctx.graph(DatasetId::Fk);
+    let engines: [(&str, Selection); 4] = [
+        ("E-F", Selection::FilterOnly),
+        ("E-C", Selection::CompactionOnly),
+        ("I-ZC", Selection::ZeroCopyOnly),
+        ("I-UM", Selection::UnifiedOnly),
+    ];
+    let mut out = Vec::new();
+    for (fig, algo) in [("g", AlgoKind::Sssp), ("h", AlgoKind::PageRank)] {
+        let runs: Vec<RunMetrics> = engines
+            .iter()
+            .map(|&(_, sel)| {
+                run_algo_with_config(SystemKind::ExpFilter, algo, &g, sync_engine_config(sel))
+            })
+            .collect();
+        let iters = runs.iter().map(|m| m.per_iteration.len()).max().unwrap_or(0);
+        let mut t = Table::new(
+            format!("Fig 3({fig}): per-iteration runtime of the 4 approaches, {} on FK", algo.name()),
+            &["iter", "E-F", "E-C", "I-ZC", "I-UM", "Prefer"],
+        );
+        for i in sample_iters(iters, 24) {
+            let mut row = vec![i.to_string()];
+            let mut best = (f64::INFINITY, "-");
+            for (k, m) in runs.iter().enumerate() {
+                match m.per_iteration.get(i) {
+                    Some(it) => {
+                        row.push(secs(it.time));
+                        if it.time < best.0 {
+                            best = (it.time, engines[k].0);
+                        }
+                    }
+                    None => row.push("-".to_string()),
+                }
+            }
+            row.push(best.1.to_string());
+            t.row(row);
+        }
+        out.push(t);
+        let mut totals = Table::new(
+            format!("Fig 3({fig}) totals: {} on FK (sync mode)", algo.name()),
+            &["Engine", "total", "iterations"],
+        );
+        for (k, m) in runs.iter().enumerate() {
+            totals.row(vec![
+                engines[k].0.to_string(),
+                secs(m.total_time),
+                m.iterations.to_string(),
+            ]);
+        }
+        out.push(totals);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_even_and_bounded() {
+        assert_eq!(sample_iters(5, 10), vec![0, 1, 2, 3, 4]);
+        let s = sample_iters(100, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert_eq!(*s.last().unwrap(), 99);
+    }
+
+    #[test]
+    fn fig3e_is_static_and_monotone() {
+        let tables = run_e(&mut Ctx::new());
+        assert_eq!(tables[0].len(), 4);
+        let s = tables[0].render();
+        assert!(s.contains("128-B"));
+    }
+
+    #[test]
+    fn fig3f_covers_all_datasets() {
+        let tables = run_f(&mut Ctx::new());
+        assert_eq!(tables[0].len(), 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 8: performance gain of Task Combining (TC) and Contribution-
+//! Driven Scheduling (CDS), as normalised speedup over the raw hybrid.
+
+use crate::context::{base_config, run_algo, Ctx};
+use crate::table::{times, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::SystemKind;
+use hyt_graph::DatasetId;
+
+/// Regenerate Fig. 8: Hybrid → Hybrid+TC → Hybrid+TC+CDS per algorithm
+/// and dataset, normalised to the Hybrid baseline.
+pub fn run(ctx: &mut Ctx) -> Vec<Table> {
+    let ladder = [SystemKind::HybridBase, SystemKind::HybridTc, SystemKind::HyTGraph];
+    let mut out = Vec::new();
+    for algo in AlgoKind::TABLE5 {
+        let mut t = Table::new(
+            format!("Fig 8 ({}): normalized speedup over raw Hybrid", algo.name()),
+            &["Dataset", "Hybrid", "Hybrid+TC", "Hybrid+TC+CDS"],
+        );
+        let mut tc_gain = Vec::new();
+        let mut cds_gain = Vec::new();
+        for ds in DatasetId::ALL {
+            let g = ctx.graph(ds);
+            let runs: Vec<f64> = ladder
+                .iter()
+                .map(|&s| run_algo(s, algo, &g, base_config()).total_time)
+                .collect();
+            t.row(vec![
+                ds.name().to_string(),
+                times(1.0),
+                times(runs[0] / runs[1]),
+                times(runs[0] / runs[2]),
+            ]);
+            tc_gain.push(runs[0] / runs[1]);
+            cds_gain.push(runs[1] / runs[2]);
+        }
+        let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+        t.row(vec![
+            "geo-mean".into(),
+            times(1.0),
+            times(geo(&tc_gain)),
+            times(geo(&tc_gain) * geo(&cds_gain)),
+        ]);
+        out.push(t);
+    }
+    out
+}

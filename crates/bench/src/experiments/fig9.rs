@@ -1,0 +1,52 @@
+//! Figure 9: scalability with increasing RMAT graph size (64× range).
+//!
+//! The paper sweeps 0.1 B → 6.4 B edges; at our 2¹⁰ scaling that is
+//! 0.1 M → 6.4 M edges against the proportionally scaled device budget.
+
+use crate::context::{base_config, run_algo, Ctx};
+use crate::table::{secs, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::SystemKind;
+use hyt_graph::datasets;
+
+/// Regenerate Fig. 9 for PageRank and SSSP.
+pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
+    let sweep = datasets::rmat_sweep();
+    let systems =
+        [SystemKind::Grus, SystemKind::Subway, SystemKind::Emogi, SystemKind::HyTGraph];
+    let mut out = Vec::new();
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp] {
+        let mut t = Table::new(
+            format!("Fig 9 ({}): runtime vs RMAT size (paper: 0.1B..6.4B edges)", algo.name()),
+            &["edges", "Grus", "Subway", "EMOGI", "HyTGraph"],
+        );
+        let mut first: Option<Vec<f64>> = None;
+        let mut last: Option<Vec<f64>> = None;
+        for (label, g) in &sweep {
+            let runs: Vec<f64> = systems
+                .iter()
+                .map(|&s| run_algo(s, algo, g, base_config()).total_time)
+                .collect();
+            t.row(
+                std::iter::once(label.clone()).chain(runs.iter().map(|&x| secs(x))).collect(),
+            );
+            if first.is_none() {
+                first = Some(runs.clone());
+            }
+            last = Some(runs);
+        }
+        out.push(t);
+        // The paper reports growth factors over the 64x sweep.
+        if let (Some(f), Some(l)) = (first, last) {
+            let mut g = Table::new(
+                format!("Fig 9 ({}): runtime growth across the 64x sweep", algo.name()),
+                &["System", "growth"],
+            );
+            for (i, &system) in systems.iter().enumerate() {
+                g.row(vec![system.name().to_string(), format!("{:.1}X", l[i] / f[i])]);
+            }
+            out.push(g);
+        }
+    }
+    out
+}

@@ -1,0 +1,73 @@
+//! Extension: fast host-GPU interconnects (the paper's Section VIII
+//! future work).
+//!
+//! NVLink-4 / CXL push the host link from 16 GB/s toward 450 GB/s. The
+//! paper conjectures the hybrid trade-offs shift there because transfer
+//! stops being the bottleneck. This experiment sweeps the link bandwidth
+//! on the FS proxy and reports (a) each pure engine's runtime and (b) the
+//! engine mix HyTGraph's cost model settles on.
+//!
+//! Finding: the runtimes shift as expected (bandwidth-bound engines gain
+//! ~linearly; Subway's CPU compaction becomes the floor), but the engine
+//! *mix is invariant* — formulas (1)–(3) compare TLP counts in RTT units,
+//! and RTT cancels, so the selection is blind to absolute bandwidth. On a
+//! 450 GB/s link the kernel, not the bus, limits dense phases, and EMOGI
+//! overtakes HyTGraph. This is precisely the gap the paper's Section VIII
+//! names: fast interconnects need main-memory access cost in the model.
+
+use crate::context::{base_config, run_algo_with_config, Ctx};
+use crate::table::{pct, secs, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::{EngineMix, HyTGraphConfig, SystemKind};
+use hyt_graph::DatasetId;
+use hyt_sim::{MachineModel, PcieModel, UmModel};
+
+/// A machine whose host link runs at `nominal_bw` (bytes/s), everything
+/// else the paper platform.
+fn machine_with_link(nominal_bw: f64) -> MachineModel {
+    let mut m = MachineModel::paper_platform();
+    m.pcie = PcieModel::with_nominal_bw(nominal_bw);
+    m.um = UmModel::new(&m.pcie);
+    m.scaled(crate::context::SCALE_SHIFT)
+}
+
+/// Sweep PCIe 3/4/5 and NVLink-class links on SSSP / FS.
+pub fn run(ctx: &mut Ctx) -> Vec<Table> {
+    let g = ctx.graph(DatasetId::Fs);
+    let links: [(&str, f64); 5] = [
+        ("PCIe3 16GB/s", 16.0e9),
+        ("PCIe4 32GB/s", 32.0e9),
+        ("PCIe5 64GB/s", 64.0e9),
+        ("NVLink 200GB/s", 200.0e9),
+        ("NVLink4 450GB/s", 450.0e9),
+    ];
+    let mut runtime = Table::new(
+        "Extension: interconnect sweep, SSSP on FS (runtime)",
+        &["link", "ExpTM-F", "Subway", "EMOGI", "HyTGraph"],
+    );
+    let mut mix = Table::new(
+        "Extension: interconnect sweep - HyTGraph engine mix (partition-iterations)",
+        &["link", "E-F", "E-C", "I-ZC"],
+    );
+    for (label, bw) in links {
+        let base = HyTGraphConfig { machine: machine_with_link(bw), ..base_config() };
+        let mut row = vec![label.to_string()];
+        for sys in [SystemKind::ExpFilter, SystemKind::Subway, SystemKind::Emogi] {
+            let cfg = sys.configure(base.clone());
+            row.push(secs(run_algo_with_config(sys, AlgoKind::Sssp, &g, cfg).total_time));
+        }
+        let cfg = SystemKind::HyTGraph.configure(base.clone());
+        let m = run_algo_with_config(SystemKind::HyTGraph, AlgoKind::Sssp, &g, cfg);
+        row.push(secs(m.total_time));
+        runtime.row(row);
+        let mut total = EngineMix::default();
+        for it in &m.per_iteration {
+            total.filter += it.mix.filter;
+            total.compaction += it.mix.compaction;
+            total.zero_copy += it.mix.zero_copy;
+        }
+        let (f, c, z, _) = total.fractions();
+        mix.row(vec![label.to_string(), pct(f), pct(c), pct(z)]);
+    }
+    vec![runtime, mix]
+}

@@ -1,0 +1,38 @@
+//! Table I: advances from NVIDIA P100 to H100 — the memory-vs-PCIe
+//! bandwidth gap that motivates transfer management.
+
+use crate::context::Ctx;
+use crate::table::Table;
+use hyt_sim::GpuModel;
+
+/// Render Table I from the device presets.
+pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table I: advances from NVIDIA P100 to H100",
+        &["GPU", "Year", "Mem. bdw.", "PCIe x16 bdw.", "Mem/PCIe"],
+    );
+    for g in GpuModel::table1_rows() {
+        t.row(vec![
+            g.name.to_string(),
+            g.year.to_string(),
+            format!("{:.0}GB/s", g.mem_bw / 1e9),
+            format!("{:.0}GB/s ({})", g.pcie_bw / 1e9, g.pcie_gen),
+            format!("{:.1}X", g.bandwidth_gap()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_four_rows_and_wide_gaps() {
+        let tables = run(&mut Ctx::new());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 4);
+        let s = tables[0].render();
+        assert!(s.contains("P100") && s.contains("H100"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Table II: neither Subway nor EMOGI dominates — the motivating flip.
+//!
+//! Paper's observation: on SK, EMOGI wins SSSP but loses PageRank; for
+//! PageRank, Subway wins on SK but loses on UK.
+
+use crate::context::{base_config, run_algo, Ctx};
+use crate::table::{secs, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::SystemKind;
+use hyt_graph::DatasetId;
+
+/// Regenerate Table II (four columns: SSSP/SK, PR/SK, PR/SK, PR/UK).
+pub fn run(ctx: &mut Ctx) -> Vec<Table> {
+    let cells: Vec<(AlgoKind, DatasetId, &str)> = vec![
+        (AlgoKind::Sssp, DatasetId::Sk, "SSSP (SK)"),
+        (AlgoKind::PageRank, DatasetId::Sk, "PR (SK)"),
+        (AlgoKind::PageRank, DatasetId::Uk, "PR (UK)"),
+    ];
+    let mut header = vec!["System"];
+    header.extend(cells.iter().map(|&(_, _, label)| label));
+    let mut t = Table::new("Table II: Subway vs EMOGI across algorithms and datasets", &header);
+    for system in [SystemKind::Subway, SystemKind::Emogi] {
+        let mut row = vec![system.name().to_string()];
+        for &(algo, ds, _) in &cells {
+            let g = ctx.graph(ds);
+            let m = run_algo(system, algo, &g, base_config());
+            row.push(secs(m.total_time));
+        }
+        t.row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_two_system_rows() {
+        // Smoke test on the real (proxy) datasets — slow-ish but the whole
+        // point of the harness.
+        let tables = run(&mut Ctx::new());
+        assert_eq!(tables[0].len(), 2);
+    }
+}

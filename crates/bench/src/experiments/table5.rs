@@ -1,0 +1,63 @@
+//! Table V: overall runtime of all systems on all algorithms and graphs —
+//! the paper's headline comparison.
+
+use crate::context::{base_config, run_algo, Ctx};
+use crate::table::{secs, times, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::SystemKind;
+use hyt_graph::DatasetId;
+
+/// Regenerate Table V: for each algorithm, a system × dataset grid, plus
+/// a speedup summary of HyTGraph over Subway / Grus / EMOGI.
+pub fn run(ctx: &mut Ctx) -> Vec<Table> {
+    let mut out = Vec::new();
+    let mut speedups: Vec<(SystemKind, Vec<f64>)> = vec![
+        (SystemKind::Subway, Vec::new()),
+        (SystemKind::Grus, Vec::new()),
+        (SystemKind::Emogi, Vec::new()),
+    ];
+    for algo in AlgoKind::TABLE5 {
+        let mut t = Table::new(
+            format!("Table V ({}): overall runtime", algo.name()),
+            &["System", "SK", "TW", "FK", "UK", "FS"],
+        );
+        let mut grid: Vec<(SystemKind, Vec<f64>)> = Vec::new();
+        for system in SystemKind::TABLE5 {
+            let mut times_row = Vec::new();
+            for ds in DatasetId::ALL {
+                let g = ctx.graph(ds);
+                let m = run_algo(system, algo, &g, base_config());
+                times_row.push(m.total_time);
+            }
+            grid.push((system, times_row));
+        }
+        let hyt = grid.iter().find(|(s, _)| *s == SystemKind::HyTGraph).unwrap().1.clone();
+        for (system, times_row) in &grid {
+            t.row(
+                std::iter::once(system.name().to_string())
+                    .chain(times_row.iter().map(|&x| secs(x)))
+                    .collect(),
+            );
+            for (target, samples) in &mut speedups {
+                if system == target {
+                    for (a, b) in times_row.iter().zip(&hyt) {
+                        samples.push(a / b);
+                    }
+                }
+            }
+        }
+        out.push(t);
+    }
+    let mut s = Table::new(
+        "Table V summary: HyTGraph speedup (geo-mean over 4 algos x 5 graphs)",
+        &["Baseline", "speedup", "min", "max"],
+    );
+    for (system, samples) in &speedups {
+        let geo = (samples.iter().map(|x| x.ln()).sum::<f64>() / samples.len() as f64).exp();
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        s.row(vec![system.name().to_string(), times(geo), times(min), times(max)]);
+    }
+    out.push(s);
+    out
+}

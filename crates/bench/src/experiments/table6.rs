@@ -1,0 +1,32 @@
+//! Table VI: transfer-reduction analysis — bytes moved normalised to the
+//! graph's edge-data volume, for PR and SSSP on the five graphs.
+
+use crate::context::{base_config, run_algo, Ctx};
+use crate::table::{times, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::SystemKind;
+use hyt_graph::DatasetId;
+
+/// Regenerate Table VI.
+pub fn run(ctx: &mut Ctx) -> Vec<Table> {
+    let systems =
+        [SystemKind::ExpFilter, SystemKind::Subway, SystemKind::Emogi, SystemKind::HyTGraph];
+    let mut out = Vec::new();
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp] {
+        let mut t = Table::new(
+            format!("Table VI ({}): transfer volume / edge volume", algo.name()),
+            &["Dataset", "ExpTM-F", "Subway", "EMOGI", "HyTGraph"],
+        );
+        for ds in DatasetId::ALL {
+            let g = ctx.graph(ds);
+            let mut row = vec![ds.name().to_string()];
+            for &system in &systems {
+                let m = run_algo(system, algo, &g, base_config());
+                row.push(times(m.transfer_ratio()));
+            }
+            t.row(row);
+        }
+        out.push(t);
+    }
+    out
+}

@@ -1,0 +1,346 @@
+//! The push-based vertex-centric programming API.
+//!
+//! HyTGraph executes *push-mode* vertex programs (Fig. 1 of the paper): in
+//! each step, every **active** vertex scatters messages along its out-edges;
+//! a receiving vertex folds the message into its state and becomes active
+//! when the fold changed (or crossed) something. The API decomposes that
+//! into four hooks, chosen so both value-replacement algorithms (SSSP, BFS,
+//! CC — monotone min-folds) and value-accumulation algorithms (Δ-PageRank,
+//! PHP — commutative add-folds) fit without special cases:
+//!
+//! 1. [`VertexProgram::activate`] — atomically claim the scatter seed from
+//!    the vertex's own state (PR swaps its pending Δ to zero here; SSSP
+//!    just reads its distance).
+//! 2. [`VertexProgram::message`] — the per-edge message computed from the
+//!    seed and the edge context.
+//! 3. [`VertexProgram::accumulate`] — fold a message into the target state
+//!    (must be commutative and idempotent-safe under CAS retry).
+//! 4. [`VertexProgram::should_activate`] — whether the fold makes the
+//!    target active (PR only activates when Δ crosses ε).
+//!
+//! Values live in a lock-free [`Values`] array of 64-bit atoms; any state
+//! that packs into 64 bits (every algorithm in the paper) works. Updates
+//! are CAS loops, the CPU analogue of the `atomicMin`/`atomicAdd` the
+//! paper's CUDA kernels use.
+
+use hyt_graph::{VertexId, Weight};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A vertex state that packs into 64 bits (the unit of atomic update).
+pub trait VertexValue: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Encode into the atomic cell.
+    fn to_bits(self) -> u64;
+    /// Decode from the atomic cell.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl VertexValue for u32 {
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl VertexValue for u64 {
+    fn to_bits(self) -> u64 {
+        self
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl VertexValue for f64 {
+    fn to_bits(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+/// Two packed `f32`s — the state shape of Δ-accumulative algorithms
+/// (PageRank, PHP): a settled component plus a pending delta.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F32Pair {
+    /// Settled value (e.g. accumulated rank).
+    pub a: f32,
+    /// Pending value (e.g. unscattered Δ).
+    pub b: f32,
+}
+
+impl VertexValue for F32Pair {
+    fn to_bits(self) -> u64 {
+        ((self.a.to_bits() as u64) << 32) | self.b.to_bits() as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        F32Pair { a: f32::from_bits((bits >> 32) as u32), b: f32::from_bits(bits as u32) }
+    }
+}
+
+/// Edge context handed to [`VertexProgram::message`].
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeCtx {
+    /// Out-degree of the scattering vertex.
+    pub out_degree: u64,
+    /// Weight of this edge (1 on unweighted graphs).
+    pub weight: Weight,
+    /// Sum of the scattering vertex's out-edge weights. Only computed when
+    /// [`VertexProgram::NEEDS_WEIGHTED_DEGREE`] is set (PHP's normaliser);
+    /// equals `out_degree` on unweighted graphs, 0 otherwise.
+    pub weighted_degree: u64,
+}
+
+/// Which vertices start active.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InitialFrontier {
+    /// Every vertex (PageRank, CC).
+    All,
+    /// An explicit seed set (SSSP, BFS, PHP: the source).
+    Set(Vec<VertexId>),
+}
+
+/// Which contribution signal drives priority scheduling for this program
+/// (Section VI-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PriorityMode {
+    /// Hub-vertex-driven: schedule hub-heavy (front) partitions first.
+    /// Right for value-replacement algorithms.
+    Hub,
+    /// Δ-driven: schedule partitions with the largest pending Δ first.
+    /// Right for value-accumulation algorithms.
+    Delta,
+}
+
+/// A push-based vertex program. See the module docs for the execution
+/// contract of each hook.
+pub trait VertexProgram: Sync {
+    /// Per-vertex state.
+    type Value: VertexValue;
+
+    /// Ask the kernel to compute [`EdgeCtx::weighted_degree`] per scatter
+    /// (one extra pass over the vertex's weight run; off by default).
+    const NEEDS_WEIGHTED_DEGREE: bool = false;
+
+    /// Whether the program reads edge weights. Weight-blind programs
+    /// (BFS, CC, PageRank) only transfer the 4-byte neighbour array even
+    /// on weighted graphs — the reason unified memory can cache all of
+    /// SK for PR/CC/BFS in Table V while SSSP oversubscribes.
+    const NEEDS_WEIGHTS: bool = false;
+
+    /// Initial state of vertex `v`.
+    fn init(&self, v: VertexId) -> Self::Value;
+
+    /// The initially active vertices.
+    fn initial_frontier(&self) -> InitialFrontier;
+
+    /// Atomically claim the scatter seed: returns `(new_state, seed)`.
+    /// Runs in a CAS loop, so it must be a pure function of `state`.
+    /// Default: state unchanged, seed = state (value-replacement shape).
+    fn activate(&self, state: Self::Value) -> (Self::Value, Self::Value) {
+        (state, state)
+    }
+
+    /// Synchronous-mode claim: split the live `state` given the snapshot
+    /// view `snap` taken at iteration start, returning `(new_state,
+    /// seed)`. Only the snapshot's pending contribution may be claimed —
+    /// Δ that arrived *during* the iteration must stay pending, or it
+    /// would be settled without ever being scattered. Value-replacement
+    /// programs keep their state and scatter the snapshot value (the
+    /// default); accumulative programs subtract exactly `snap`'s Δ.
+    fn claim_from_snapshot(&self, state: Self::Value, snap: Self::Value) -> (Self::Value, Self::Value) {
+        let _ = state;
+        (state, self.activate(snap).1)
+    }
+
+    /// Message sent along one out-edge given the claimed seed; `None`
+    /// sends nothing (e.g. unreachable SSSP seeds).
+    fn message(&self, seed: Self::Value, ctx: EdgeCtx) -> Option<Self::Value>;
+
+    /// Fold `msg` into the receiving vertex's state; `None` when the state
+    /// is unchanged (no write, no activation). Must be commutative across
+    /// concurrent messages.
+    fn accumulate(&self, state: Self::Value, msg: Self::Value) -> Option<Self::Value>;
+
+    /// Whether the fold `old → new` makes the receiver active. Default:
+    /// any change activates (value-replacement semantics).
+    fn should_activate(&self, _old: Self::Value, _new: Self::Value) -> bool {
+        true
+    }
+
+    /// Contribution signal for the scheduler (Section VI-A).
+    fn priority_mode(&self) -> PriorityMode {
+        PriorityMode::Hub
+    }
+
+    /// Pending-contribution magnitude of a state (only consulted in
+    /// [`PriorityMode::Delta`]).
+    fn delta_of(&self, _state: Self::Value) -> f64 {
+        0.0
+    }
+}
+
+/// Lock-free per-vertex state array.
+#[derive(Debug)]
+pub struct Values<V: VertexValue> {
+    bits: Vec<AtomicU64>,
+    _marker: PhantomData<V>,
+}
+
+impl<V: VertexValue> Values<V> {
+    /// Initialise from a program's [`VertexProgram::init`].
+    pub fn init<P: VertexProgram<Value = V>>(program: &P, num_vertices: u32) -> Self {
+        Self::init_with(num_vertices, |v| program.init(v))
+    }
+
+    /// Initialise from an arbitrary id→value function (used by the runner
+    /// to compose `init` with the hub-sort relabelling).
+    pub fn init_with(num_vertices: u32, f: impl Fn(VertexId) -> V) -> Self {
+        let bits = (0..num_vertices).map(|v| AtomicU64::new(f(v).to_bits())).collect();
+        Values { bits, _marker: PhantomData }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True for a zero-vertex graph.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Read the state of `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> V {
+        V::from_bits(self.bits[v as usize].load(Ordering::Relaxed))
+    }
+
+    /// Overwrite the state of `v` (single-threaded phases only).
+    #[inline]
+    pub fn set(&self, v: VertexId, val: V) {
+        self.bits[v as usize].store(val.to_bits(), Ordering::Relaxed);
+    }
+
+    /// CAS-update loop: apply `f` until it either returns `None` (no
+    /// change needed) or the swap succeeds. Returns `Some((old, new))` on
+    /// success, `None` if `f` declined.
+    #[inline]
+    pub fn update(&self, v: VertexId, mut f: impl FnMut(V) -> Option<V>) -> Option<(V, V)> {
+        let cell = &self.bits[v as usize];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let old = V::from_bits(cur);
+            let new = f(old)?;
+            match cell.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some((old, new)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Snapshot all states (oracle comparison, sync-mode seed reads).
+    pub fn snapshot(&self) -> Vec<V> {
+        self.bits.iter().map(|b| V::from_bits(b.load(Ordering::Relaxed))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MinProg;
+    impl VertexProgram for MinProg {
+        type Value = u32;
+        fn init(&self, v: VertexId) -> u32 {
+            if v == 0 { 0 } else { u32::MAX }
+        }
+        fn initial_frontier(&self) -> InitialFrontier {
+            InitialFrontier::Set(vec![0])
+        }
+        fn message(&self, seed: u32, ctx: EdgeCtx) -> Option<u32> {
+            (seed != u32::MAX).then(|| seed.saturating_add(ctx.weight))
+        }
+        fn accumulate(&self, state: u32, msg: u32) -> Option<u32> {
+            (msg < state).then_some(msg)
+        }
+    }
+
+    #[test]
+    fn f32_pair_round_trips() {
+        let p = F32Pair { a: 1.5, b: -2.25 };
+        assert_eq!(F32Pair::from_bits(p.to_bits()), p);
+        let z = F32Pair { a: 0.0, b: 0.0 };
+        assert_eq!(z.to_bits(), 0);
+    }
+
+    #[test]
+    fn u32_and_f64_round_trip() {
+        assert_eq!(u32::from_bits(12345u32.to_bits()), 12345);
+        let x = 2.718281828f64;
+        assert_eq!(f64::from_bits(VertexValue::to_bits(x)), x);
+    }
+
+    #[test]
+    fn values_init_and_get() {
+        let vals = Values::init(&MinProg, 4);
+        assert_eq!(vals.get(0), 0);
+        assert_eq!(vals.get(3), u32::MAX);
+        assert_eq!(vals.len(), 4);
+    }
+
+    #[test]
+    fn update_applies_min_fold() {
+        let vals = Values::init(&MinProg, 2);
+        let r = vals.update(1, |cur| MinProg.accumulate(cur, 7));
+        assert_eq!(r, Some((u32::MAX, 7)));
+        // Worse message declined.
+        assert_eq!(vals.update(1, |cur| MinProg.accumulate(cur, 9)), None);
+        assert_eq!(vals.get(1), 7);
+    }
+
+    #[test]
+    fn concurrent_updates_keep_minimum() {
+        // Vertex 1 starts at MAX; 8 threads race min-folds whose global
+        // minimum is 1.
+        let vals = std::sync::Arc::new(Values::init(&MinProg, 2));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let vals = vals.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    let msg = 1 + (i * 7 + t * 13) % 1000;
+                    vals.update(1, |cur| MinProg.accumulate(cur, msg));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(vals.get(1), 1);
+    }
+
+    #[test]
+    fn default_activate_is_identity() {
+        let (new, seed) = MinProg.activate(5);
+        assert_eq!(new, 5);
+        assert_eq!(seed, 5);
+        assert!(MinProg.should_activate(5, 3));
+        assert_eq!(MinProg.priority_mode(), PriorityMode::Hub);
+    }
+
+    #[test]
+    fn snapshot_matches_gets() {
+        let vals = Values::init(&MinProg, 3);
+        vals.set(2, 42);
+        assert_eq!(vals.snapshot(), vec![0, u32::MAX, 42]);
+    }
+}

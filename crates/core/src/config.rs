@@ -1,0 +1,117 @@
+//! System configuration.
+
+use crate::select::{SelectParams, Selection};
+use hyt_sim::MachineModel;
+
+/// Scale shift shared with `hyt_graph::datasets`: datasets are 2¹⁰ smaller
+/// than the paper's, so partitions and device budgets shrink by the same
+/// factor (all cost-model ratios are preserved).
+pub const SCALE_SHIFT: u32 = 10;
+
+/// The paper's partition byte budget (32 MB), before scaling.
+pub const PAPER_PARTITION_BYTES: u64 = 32 << 20;
+
+/// Asynchrony mode of the iteration driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AsyncMode {
+    /// Synchronous: scatter seeds come from an iteration-start snapshot;
+    /// no recompute. Used by the Section III motivating study so all
+    /// engines see identical frontiers.
+    Sync,
+    /// Asynchronous with `recompute` extra passes over each loaded task's
+    /// newly-activated local vertices. HyTGraph uses 1 ("processes the
+    /// loaded partition only one more time"); Subway squeezes until a
+    /// fixpoint (capped).
+    Async {
+        /// Extra local passes per loaded task.
+        recompute: u32,
+    },
+}
+
+/// Full configuration of a run.
+#[derive(Clone, Debug)]
+pub struct HyTGraphConfig {
+    /// Engine-selection policy (hybrid for HyTGraph, constant for
+    /// baselines).
+    pub selection: Selection,
+    /// Algorithm 1 thresholds (α, β).
+    pub select_params: SelectParams,
+    /// Partition byte budget (default: 32 MB scaled by [`SCALE_SHIFT`]).
+    pub partition_bytes: u64,
+    /// Task-combining width `k` (paper: 4).
+    pub combine_k: usize,
+    /// Enable the task combiner (Fig. 8 "TC").
+    pub task_combining: bool,
+    /// Enable contribution-driven scheduling: hub sorting + priority
+    /// ordering (Fig. 8 "CDS").
+    pub contribution_scheduling: bool,
+    /// Fraction of vertices gathered as hubs when CDS is on (paper: 8 %).
+    pub hub_fraction: f64,
+    /// Sync or async iteration semantics.
+    pub async_mode: AsyncMode,
+    /// CUDA streams for the timeline simulator.
+    pub num_streams: usize,
+    /// Host threads for real computation (kernels, compaction, analysis).
+    pub threads: usize,
+    /// Iteration safety cap.
+    pub max_iterations: u32,
+    /// One-off run-startup cost, expressed in host passes over the edge
+    /// data at `Thpt_cpt` (Subway's per-run preprocessing of its
+    /// compaction structures; 0 for every other system).
+    pub startup_edge_passes: f64,
+    /// The simulated machine.
+    pub machine: MachineModel,
+}
+
+impl Default for HyTGraphConfig {
+    /// HyTGraph as evaluated in the paper: hybrid selection, TC + CDS on,
+    /// one recompute pass, four streams, 2080Ti-class machine scaled to
+    /// the proxy datasets.
+    fn default() -> Self {
+        HyTGraphConfig {
+            selection: Selection::Hybrid,
+            select_params: SelectParams::default(),
+            partition_bytes: PAPER_PARTITION_BYTES >> SCALE_SHIFT,
+            combine_k: 4,
+            task_combining: true,
+            contribution_scheduling: true,
+            hub_fraction: hyt_graph::hub_sort::HUB_FRACTION,
+            async_mode: AsyncMode::Async { recompute: 1 },
+            num_streams: 4,
+            threads: default_threads(),
+            max_iterations: 10_000,
+            startup_edge_passes: 0.0,
+            machine: MachineModel::paper_platform().scaled(SCALE_SHIFT),
+        }
+    }
+}
+
+/// Host parallelism default: available cores capped at 8 (the real work is
+/// small; more threads mostly add scope overhead).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = HyTGraphConfig::default();
+        assert_eq!(c.select_params.alpha, 0.8);
+        assert_eq!(c.select_params.beta, 0.4);
+        assert_eq!(c.combine_k, 4);
+        assert_eq!(c.num_streams, 4);
+        assert_eq!(c.partition_bytes, 32 << 10); // 32 MB >> 10
+        assert!(c.task_combining && c.contribution_scheduling);
+        assert_eq!(c.async_mode, AsyncMode::Async { recompute: 1 });
+        assert!((c.hub_fraction - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_budget_is_scaled() {
+        let c = HyTGraphConfig::default();
+        assert_eq!(c.machine.edge_budget, (11u64 << 30) >> SCALE_SHIFT);
+    }
+}

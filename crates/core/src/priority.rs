@@ -1,0 +1,204 @@
+//! Contribution-driven priority scheduling — Section VI-A.
+//!
+//! Asynchronous processing lets the order of tasks matter: results of
+//! earlier tasks feed later ones within the same iteration. Scheduling the
+//! partitions that *contribute most to convergence* first reduces stale
+//! computation (downstream results that later updates would abolish).
+//!
+//! Two signals:
+//!
+//! * **Hub-driven** (value-replacement algorithms): after hub sorting, the
+//!   most important vertices live in the lowest-numbered partitions, so
+//!   priority is simply ascending first-partition order — hubs accumulate
+//!   updates before their fan-outs scatter.
+//! * **Δ-driven** (value-accumulation algorithms): a partition's priority
+//!   is its pending |Δ| mass; largest first.
+//!
+//! The paper schedules ExpTM-filter tasks first (they carry the hub
+//! partitions and enjoy full-bandwidth copies), then compaction and
+//! zero-copy tasks.
+
+use crate::api::{PriorityMode, Values, VertexProgram};
+use crate::combine::CombinedTask;
+use hyt_engines::{EngineKind, PartitionActivity};
+
+/// Order `tasks` in place according to the program's priority mode.
+///
+/// Engine class order is stable: ExpTM-filter tasks first, then the rest
+/// (Section VI-B); within a class, hub mode sorts by lowest member
+/// partition, Δ mode by descending pending-Δ mass.
+pub fn order_tasks<P: VertexProgram>(
+    tasks: &mut [CombinedTask],
+    acts: &[PartitionActivity],
+    program: &P,
+    values: &Values<P::Value>,
+    enabled: bool,
+) {
+    if !enabled {
+        return;
+    }
+    let mode = program.priority_mode();
+    let class = |k: EngineKind| match k {
+        EngineKind::ExpFilter => 0u8,
+        _ => 1u8,
+    };
+    match mode {
+        PriorityMode::Hub => {
+            tasks.sort_by_key(|t| {
+                (class(t.kind), t.members.first().map(|&i| acts[i].partition).unwrap_or(u32::MAX))
+            });
+        }
+        PriorityMode::Delta => {
+            let task_delta = |t: &CombinedTask| -> f64 {
+                t.members
+                    .iter()
+                    .flat_map(|&i| acts[i].active_vertices.iter())
+                    .map(|&v| program.delta_of(values.get(v)))
+                    .sum()
+            };
+            let mut keyed: Vec<(u8, f64, usize)> = tasks
+                .iter()
+                .enumerate()
+                .map(|(idx, t)| (class(t.kind), task_delta(t), idx))
+                .collect();
+            keyed.sort_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .then(a.2.cmp(&b.2))
+            });
+            let order: Vec<usize> = keyed.into_iter().map(|(_, _, i)| i).collect();
+            apply_permutation(tasks, &order);
+        }
+    }
+}
+
+/// Reorder `items` so `items_new[k] = items_old[order[k]]`.
+fn apply_permutation<T: Clone>(items: &mut [T], order: &[usize]) {
+    debug_assert_eq!(items.len(), order.len());
+    let sorted: Vec<T> = order.iter().map(|&i| items[i].clone()).collect();
+    items.clone_from_slice(&sorted);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{EdgeCtx, InitialFrontier};
+    use hyt_graph::VertexId;
+
+    struct HubProg;
+    impl VertexProgram for HubProg {
+        type Value = u32;
+        fn init(&self, _: VertexId) -> u32 {
+            0
+        }
+        fn initial_frontier(&self) -> InitialFrontier {
+            InitialFrontier::All
+        }
+        fn message(&self, s: u32, _: EdgeCtx) -> Option<u32> {
+            Some(s)
+        }
+        fn accumulate(&self, s: u32, m: u32) -> Option<u32> {
+            (m < s).then_some(m)
+        }
+    }
+
+    struct DeltaProg;
+    impl VertexProgram for DeltaProg {
+        type Value = u32;
+        fn init(&self, v: VertexId) -> u32 {
+            v * 10 // delta grows with id for the test
+        }
+        fn initial_frontier(&self) -> InitialFrontier {
+            InitialFrontier::All
+        }
+        fn message(&self, s: u32, _: EdgeCtx) -> Option<u32> {
+            Some(s)
+        }
+        fn accumulate(&self, s: u32, m: u32) -> Option<u32> {
+            (m < s).then_some(m)
+        }
+        fn priority_mode(&self) -> PriorityMode {
+            PriorityMode::Delta
+        }
+        fn delta_of(&self, s: u32) -> f64 {
+            s as f64
+        }
+    }
+
+    fn acts3() -> Vec<PartitionActivity> {
+        (0..3u32)
+            .map(|p| PartitionActivity {
+                partition: p,
+                active_vertices: vec![p], // vertex id == partition id
+                active_edges: 1,
+                total_edges: 10,
+                zc_requests: 1,
+            })
+            .collect()
+    }
+
+    fn task(kind: EngineKind, members: Vec<usize>) -> CombinedTask {
+        CombinedTask { kind, members }
+    }
+
+    #[test]
+    fn filter_class_goes_first() {
+        let acts = acts3();
+        let values = Values::init(&HubProg, 3);
+        let mut tasks = vec![
+            task(EngineKind::ImpZeroCopy, vec![0]),
+            task(EngineKind::ExpFilter, vec![2]),
+            task(EngineKind::ExpCompaction, vec![1]),
+        ];
+        order_tasks(&mut tasks, &acts, &HubProg, &values, true);
+        assert_eq!(tasks[0].kind, EngineKind::ExpFilter);
+    }
+
+    #[test]
+    fn hub_mode_orders_by_lowest_partition() {
+        let acts = acts3();
+        let values = Values::init(&HubProg, 3);
+        let mut tasks = vec![
+            task(EngineKind::ExpFilter, vec![2]),
+            task(EngineKind::ExpFilter, vec![0]),
+            task(EngineKind::ExpFilter, vec![1]),
+        ];
+        order_tasks(&mut tasks, &acts, &HubProg, &values, true);
+        let first: Vec<_> = tasks.iter().map(|t| t.members[0]).collect();
+        assert_eq!(first, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn delta_mode_orders_by_descending_delta() {
+        let acts = acts3();
+        let values = Values::init(&DeltaProg, 3); // deltas 0, 10, 20
+        let mut tasks = vec![
+            task(EngineKind::ExpFilter, vec![0]),
+            task(EngineKind::ExpFilter, vec![1]),
+            task(EngineKind::ExpFilter, vec![2]),
+        ];
+        order_tasks(&mut tasks, &acts, &DeltaProg, &values, true);
+        let first: Vec<_> = tasks.iter().map(|t| t.members[0]).collect();
+        assert_eq!(first, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn disabled_keeps_input_order() {
+        let acts = acts3();
+        let values = Values::init(&HubProg, 3);
+        let mut tasks = vec![
+            task(EngineKind::ImpZeroCopy, vec![2]),
+            task(EngineKind::ExpFilter, vec![0]),
+        ];
+        let before = tasks.clone();
+        order_tasks(&mut tasks, &acts, &HubProg, &values, false);
+        assert_eq!(tasks, before);
+    }
+
+    #[test]
+    fn permutation_helper_is_correct() {
+        let mut v = vec!["a", "b", "c", "d"];
+        apply_permutation(&mut v, &[2, 0, 3, 1]);
+        assert_eq!(v, vec!["c", "a", "d", "b"]);
+    }
+}

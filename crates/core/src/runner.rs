@@ -1,0 +1,641 @@
+//! The iteration driver: HyTGraph's main loop (Fig. 5).
+//!
+//! Each iteration alternates the paper's two stages until the frontier
+//! drains:
+//!
+//! 1. **Cost-aware task generation** — per-partition activity analysis,
+//!    cost formulas (1)–(3), engine selection (Algorithm 1), task
+//!    combination.
+//! 2. **Asynchronous task scheduling** — contribution-driven priority
+//!    ordering, real kernel execution (with the recompute-once pass over
+//!    loaded data), and discrete-event pricing of the multi-stream
+//!    timeline.
+//!
+//! The runner owns the correctness/timing split: *results* come from real
+//! host-side kernels over exactly the edges each engine delivers; *times*
+//! come from the simulator's makespan of the same task set.
+
+use crate::api::{InitialFrontier, Values, VertexProgram};
+use crate::combine::{combine_tasks, CombinedTask};
+use crate::config::{AsyncMode, HyTGraphConfig};
+use crate::kernel::{run_kernel, EdgeSource};
+use crate::priority::order_tasks;
+use crate::select::{select_engines, Selection};
+use crate::stats::{EngineMix, IterationStats, RunResult};
+use hyt_engines::{
+    analyze_partitions, compaction, filter, zero_copy, EngineKind, PartitionActivity, TaskPlan,
+    UnifiedState,
+};
+use hyt_graph::{hub_sort, Csr, Frontier, HubSortResult, PartitionSet, VertexId};
+use hyt_sim::{SimTask, StreamSim, TransferCounters};
+
+/// Per-iteration orchestration overhead (GPU-side cost analysis +
+/// selection result copy-back + frontier bookkeeping), expressed as a
+/// multiple of the explicit-copy launch latency so it scales with the
+/// machine model.
+pub const ITERATION_OVERHEAD_COPIES: f64 = 5.0;
+
+/// Host (Galois-class) edge throughput for the CPU-only comparison rows.
+pub const CPU_EDGE_THROUGHPUT: f64 = 1.5e9;
+
+/// Host per-iteration overhead for the CPU-only rows.
+pub const CPU_ITERATION_OVERHEAD: f64 = 100.0e-6;
+
+/// GPU-resident vertex-associated bytes per vertex (value array, neighbour
+/// index / row offsets, activity bitmaps): carved out of device memory
+/// before edge data can be cached (Section II-A's data placement).
+pub const VERTEX_STATE_BYTES: u64 = 24;
+
+/// A configured system bound to one graph: construct once, run many
+/// algorithms (hub sorting is a one-off preprocessing step, Section VI-A).
+pub struct HyTGraphSystem {
+    graph: Csr,
+    hub: Option<HubSortResult>,
+    parts: PartitionSet,
+    config: HyTGraphConfig,
+}
+
+/// Grus-like partition residency (unified-memory as a prefetch cache).
+struct GrusState {
+    /// Partition is (or is being) cached in device memory.
+    resident: Vec<bool>,
+    /// Partition's first migration has been priced already.
+    charged: Vec<bool>,
+    budget_left: u64,
+}
+
+impl HyTGraphSystem {
+    /// Build a system over `graph`. When contribution scheduling is
+    /// enabled the graph is hub-sorted here, once.
+    pub fn new(graph: Csr, config: HyTGraphConfig) -> Self {
+        let hub = if config.contribution_scheduling {
+            Some(hub_sort::hub_sort_with_fraction(&graph, config.hub_fraction))
+        } else {
+            None
+        };
+        let working = hub.as_ref().map(|h| h.graph.clone()).unwrap_or_else(|| graph.clone());
+        let parts = PartitionSet::build(&working, config.partition_bytes);
+        HyTGraphSystem { graph: working, hub, parts, config }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.graph.num_vertices()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.graph.num_edges()
+    }
+
+    /// Bytes of host-resident edge data (Table VI's denominator).
+    pub fn edge_bytes(&self) -> u64 {
+        self.graph.edge_bytes()
+    }
+
+    /// Partition count at the configured budget.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HyTGraphConfig {
+        &self.config
+    }
+
+    /// Map an original vertex id to the working (hub-sorted) id space.
+    fn to_working(&self, v: VertexId) -> VertexId {
+        self.hub.as_ref().map_or(v, |h| h.to_new(v))
+    }
+
+    /// Run `program` to convergence and return values in original-id order
+    /// plus the full statistics record.
+    pub fn run<P: VertexProgram>(&mut self, program: P) -> RunResult<P::Value> {
+        let nv = self.graph.num_vertices();
+        let hub = self.hub.as_ref();
+        let values = Values::init_with(nv, |new| {
+            let old = hub.map_or(new, |h| h.to_old(new));
+            program.init(old)
+        });
+        let mut frontier = Frontier::new(nv);
+        match program.initial_frontier() {
+            InitialFrontier::All => {
+                for v in 0..nv {
+                    frontier.insert(v);
+                }
+            }
+            InitialFrontier::Set(seeds) => {
+                for v in seeds {
+                    frontier.insert(self.to_working(v));
+                }
+            }
+        }
+
+        // Weight-blind programs only move the neighbour array (d1 = 4);
+        // weight-reading programs move neighbours + weights.
+        let bpe = self.effective_bytes_per_edge::<P>();
+        // Device memory left for edge data once vertex state is resident,
+        // derated by the UM driver-headroom utilisation.
+        let edge_budget = (self
+            .config
+            .machine
+            .edge_budget
+            .saturating_sub(nv as u64 * VERTEX_STATE_BYTES) as f64
+            * self.config.machine.um_utilization) as u64;
+        let mut um_state = UnifiedState::with_budget(&self.config.machine, edge_budget);
+        let mut grus = GrusState {
+            resident: vec![false; self.parts.len()],
+            charged: vec![false; self.parts.len()],
+            budget_left: edge_budget,
+        };
+        let mut per_iteration = Vec::new();
+        let mut total_counters = TransferCounters::new();
+        let mut total_time = self.config.startup_edge_passes
+            * (self.num_edges() * bpe) as f64
+            / self.config.machine.compaction_bw;
+        let mut iter = 0u32;
+
+        while !frontier.is_empty() && iter < self.config.max_iterations {
+            let stats = if self.config.selection == Selection::CpuOnly {
+                self.run_iteration_cpu(&program, &values, &mut frontier, iter)
+            } else {
+                self.run_iteration_gpu(
+                    &program,
+                    &values,
+                    &mut frontier,
+                    iter,
+                    bpe,
+                    &mut um_state,
+                    &mut grus,
+                )
+            };
+            total_time += stats.time;
+            total_counters.merge(&stats.counters);
+            per_iteration.push(stats);
+            iter += 1;
+        }
+
+        let snapshot = values.snapshot();
+        let values = match hub {
+            Some(h) => h.values_to_old_order(&snapshot),
+            None => snapshot,
+        };
+        RunResult { values, iterations: iter, total_time, per_iteration, counters: total_counters }
+    }
+
+    /// Edge-data bytes per edge the program actually transfers.
+    pub fn effective_bytes_per_edge<P: VertexProgram>(&self) -> u64 {
+        if P::NEEDS_WEIGHTS {
+            self.graph.bytes_per_edge()
+        } else {
+            hyt_graph::NEIGHBOR_BYTES
+        }
+    }
+
+    /// Edge-data volume the program would move shipping the graph once
+    /// (Table VI's denominator).
+    pub fn effective_edge_bytes<P: VertexProgram>(&self) -> u64 {
+        self.num_edges() * self.effective_bytes_per_edge::<P>()
+    }
+
+    /// One iteration on the simulated GPU platform.
+    #[allow(clippy::too_many_arguments)]
+    fn run_iteration_gpu<P: VertexProgram>(
+        &self,
+        program: &P,
+        values: &Values<P::Value>,
+        frontier: &mut Frontier,
+        iteration: u32,
+        bpe: u64,
+        um_state: &mut UnifiedState,
+        grus: &mut GrusState,
+    ) -> IterationStats {
+        let cfg = &self.config;
+        let machine = &cfg.machine;
+        let snapshot = match cfg.async_mode {
+            AsyncMode::Sync => Some(values.snapshot()),
+            AsyncMode::Async { .. } => None,
+        };
+        let recompute_rounds = match cfg.async_mode {
+            AsyncMode::Sync => 0,
+            AsyncMode::Async { recompute } => recompute,
+        };
+
+        // --- Stage 1: cost-aware task generation. ---
+        let acts = analyze_partitions(
+            &self.graph,
+            &self.parts,
+            frontier,
+            &machine.pcie,
+            bpe,
+            cfg.threads,
+        );
+        let decisions = match cfg.selection {
+            Selection::GrusLike => grus_select(&acts, &self.parts, grus, bpe),
+            sel => select_engines(&acts, &machine.pcie, bpe, sel, &cfg.select_params),
+        };
+        let mut mix = EngineMix::default();
+        for &(_, kind) in &decisions {
+            mix.add(kind, 1);
+        }
+        let mut tasks = combine_tasks(&decisions, cfg.combine_k, cfg.task_combining);
+        order_tasks(&mut tasks, &acts, program, values, cfg.contribution_scheduling);
+
+        // --- Stage 2: execution + pricing. ---
+        let next = Frontier::new(self.graph.num_vertices());
+        let mut sim_tasks: Vec<SimTask> = Vec::with_capacity(tasks.len());
+        let mut counters = TransferCounters::new();
+        for task in &tasks {
+            let refs: Vec<&PartitionActivity> = task.members.iter().map(|&i| &acts[i]).collect();
+            let mut plan = match task.kind {
+                EngineKind::ExpFilter => {
+                    filter::plan_filter(machine, &self.graph, &refs, bpe)
+                }
+                EngineKind::ExpCompaction => {
+                    compaction::plan_compaction(machine, &self.graph, &refs, bpe, cfg.threads)
+                }
+                EngineKind::ImpZeroCopy => {
+                    let mut p = zero_copy::plan_zero_copy(machine, &refs);
+                    if cfg.selection == Selection::GrusLike {
+                        // Grus predates EMOGI's merged-and-aligned warp
+                        // access; its zero-copy path issues ~64-byte
+                        // requests, doubling TLP traffic (Fig. 3(e)).
+                        p.transfer_time *= 2.0;
+                        p.counters.zero_copy_bytes *= 2;
+                        p.counters.tlps *= 2;
+                    }
+                    p
+                }
+                EngineKind::ImpUnified => match cfg.selection {
+                    Selection::GrusLike => {
+                        plan_grus_um(machine, &self.graph, &self.parts, &refs, bpe, grus)
+                    }
+                    _ => um_state.plan_unified(machine, &self.graph, &refs, bpe),
+                },
+            };
+
+            // Real kernel over exactly the delivered edges.
+            let source = match plan.compacted.as_ref() {
+                Some(c) => EdgeSource::Compacted(c),
+                None => EdgeSource::Csr(&self.graph),
+            };
+            run_kernel(
+                program,
+                source,
+                &plan.active_vertices,
+                values,
+                &next,
+                snapshot.as_deref(),
+                cfg.threads,
+            );
+
+            // Recompute pass(es) over loaded data (Section VI-A: HyTGraph
+            // reprocesses the loaded subgraph exactly once; Subway loops).
+            for _ in 0..recompute_rounds {
+                let eligible = self.collect_recompute(&next, task, &plan);
+                if eligible.is_empty() {
+                    break;
+                }
+                for &v in &eligible {
+                    next.remove(v);
+                }
+                run_kernel(
+                    program,
+                    EdgeSource::Csr(&self.graph),
+                    &eligible,
+                    values,
+                    &next,
+                    None,
+                    cfg.threads,
+                );
+                self.charge_recompute(&eligible, task.kind, bpe, &mut plan);
+            }
+
+            counters.merge(&plan.counters);
+            sim_tasks.push(plan.to_sim_task());
+        }
+
+        let timeline = StreamSim::new(cfg.num_streams).schedule(&sim_tasks);
+        let active_vertices: u64 = acts.iter().map(|a| a.active_vertices.len() as u64).sum();
+        let active_edges: u64 = acts.iter().map(|a| a.active_edges).sum();
+        let stats = IterationStats {
+            iteration,
+            active_vertices,
+            active_edges,
+            active_partitions: decisions.len() as u32,
+            total_partitions: self.parts.len() as u32,
+            mix,
+            tasks: tasks.len() as u32,
+            time: timeline.makespan + ITERATION_OVERHEAD_COPIES * machine.pcie.copy_latency,
+            transfer_time: timeline.pcie_busy,
+            compute_time: timeline.gpu_busy,
+            compaction_time: timeline.cpu_busy,
+            counters,
+        };
+        let mut drained = Frontier::new(self.graph.num_vertices());
+        drained.copy_from(&next);
+        frontier.swap(&mut drained);
+        stats
+    }
+
+    /// Newly-activated vertices that the already-loaded task data can
+    /// serve: whole partition ranges for filter/UM/ZC; the originally
+    /// gathered vertex set for compaction (only their runs were shipped).
+    fn collect_recompute(
+        &self,
+        next: &Frontier,
+        task: &CombinedTask,
+        plan: &TaskPlan,
+    ) -> Vec<VertexId> {
+        match task.kind {
+            EngineKind::ExpCompaction => plan
+                .active_vertices
+                .iter()
+                .copied()
+                .filter(|&v| next.contains(v))
+                .collect(),
+            _ => {
+                let mut out = Vec::new();
+                for &pid in &plan.partitions {
+                    let p = self.parts.get(pid);
+                    out.extend(next.iter_range(p.first_vertex, p.end_vertex));
+                }
+                out
+            }
+        }
+    }
+
+    /// Price the recompute pass: always an extra kernel; zero-copy also
+    /// pays the bus again (its reads are never resident).
+    fn charge_recompute(
+        &self,
+        eligible: &[VertexId],
+        kind: EngineKind,
+        bpe: u64,
+        plan: &mut TaskPlan,
+    ) {
+        let machine = &self.config.machine;
+        let edges: u64 = eligible.iter().map(|&v| self.graph.out_degree(v)).sum();
+        plan.kernel_time += machine.kernel.kernel_time(edges);
+        plan.counters.kernel_edges += edges;
+        plan.counters.kernel_launches += 1;
+        if kind == EngineKind::ImpZeroCopy {
+            let mut requests = 0u64;
+            for &v in eligible {
+                let start = self.graph.row_offset()[v as usize] * bpe;
+                requests += machine.pcie.requests_for_span(start, self.graph.out_degree(v) * bpe);
+            }
+            let tlps = machine.pcie.zero_copy_tlps(requests);
+            plan.transfer_time += tlps as f64 * machine.pcie.rtt_zc(1.0);
+            plan.counters.zero_copy_bytes += requests * machine.pcie.request_bytes;
+            plan.counters.tlps += tlps;
+        }
+    }
+
+    /// One iteration of the CPU-only (Galois-class) comparison system:
+    /// no transfers, host edge throughput, synchronous semantics.
+    fn run_iteration_cpu<P: VertexProgram>(
+        &self,
+        program: &P,
+        values: &Values<P::Value>,
+        frontier: &mut Frontier,
+        iteration: u32,
+    ) -> IterationStats {
+        let active: Vec<VertexId> = frontier.to_vec();
+        let active_edges: u64 = active.iter().map(|&v| self.graph.out_degree(v)).sum();
+        let snapshot = values.snapshot();
+        let next = Frontier::new(self.graph.num_vertices());
+        run_kernel(
+            program,
+            EdgeSource::Csr(&self.graph),
+            &active,
+            values,
+            &next,
+            Some(&snapshot),
+            self.config.threads,
+        );
+        let time = active_edges as f64 / CPU_EDGE_THROUGHPUT + CPU_ITERATION_OVERHEAD;
+        let stats = IterationStats {
+            iteration,
+            active_vertices: active.len() as u64,
+            active_edges,
+            active_partitions: 0,
+            total_partitions: self.parts.len() as u32,
+            mix: EngineMix::default(),
+            tasks: 0,
+            time,
+            transfer_time: 0.0,
+            compute_time: time,
+            compaction_time: 0.0,
+            counters: TransferCounters { kernel_edges: active_edges, ..Default::default() },
+        };
+        let mut drained = Frontier::new(self.graph.num_vertices());
+        drained.copy_from(&next);
+        frontier.swap(&mut drained);
+        stats
+    }
+}
+
+/// Grus's policy: resident partitions are unified-memory hits; while device
+/// budget remains, migrate (and pin) whole partitions through UM;
+/// afterwards fall back to zero-copy.
+fn grus_select(
+    acts: &[PartitionActivity],
+    parts: &PartitionSet,
+    grus: &mut GrusState,
+    bytes_per_edge: u64,
+) -> Vec<(usize, EngineKind)> {
+    acts.iter()
+        .enumerate()
+        .filter(|(_, a)| a.is_active())
+        .map(|(i, a)| {
+            let pid = a.partition as usize;
+            if grus.resident[pid] {
+                (i, EngineKind::ImpUnified)
+            } else {
+                let bytes = parts.get(a.partition).num_edges() * bytes_per_edge;
+                if bytes <= grus.budget_left {
+                    grus.budget_left -= bytes;
+                    grus.resident[pid] = true;
+                    (i, EngineKind::ImpUnified)
+                } else {
+                    (i, EngineKind::ImpZeroCopy)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Price a Grus unified-memory task: member partitions pay their whole
+/// span's page migration exactly once (the prefetch-and-pin), after which
+/// accesses are device-local and free.
+fn plan_grus_um(
+    machine: &hyt_sim::MachineModel,
+    graph: &Csr,
+    parts: &PartitionSet,
+    refs: &[&PartitionActivity],
+    bytes_per_edge: u64,
+    grus: &mut GrusState,
+) -> TaskPlan {
+    let _ = graph;
+    let bpe = bytes_per_edge;
+    let page = machine.um.page_bytes;
+    let mut partitions = Vec::new();
+    let mut active_vertices = Vec::new();
+    let mut active_edges = 0u64;
+    let mut migrated_pages = 0u64;
+    for a in refs {
+        partitions.push(a.partition);
+        active_vertices.extend_from_slice(&a.active_vertices);
+        active_edges += a.active_edges;
+        let pid = a.partition as usize;
+        if !grus.charged[pid] {
+            grus.charged[pid] = true;
+            let bytes = parts.get(a.partition).num_edges() * bpe;
+            migrated_pages += bytes.div_ceil(page);
+        }
+    }
+    let transfer_time = machine.um.migrate_time(migrated_pages);
+    let kernel_time = machine.kernel.kernel_time(active_edges);
+    TaskPlan {
+        kind: EngineKind::ImpUnified,
+        partitions,
+        active_vertices,
+        active_edges,
+        cpu_time: 0.0,
+        transfer_time,
+        kernel_time,
+        counters: TransferCounters {
+            um_bytes: migrated_pages * page,
+            page_faults: migrated_pages,
+            kernel_edges: active_edges,
+            kernel_launches: 1,
+            ..Default::default()
+        },
+        compacted: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{EdgeCtx, InitialFrontier};
+    use crate::stats::RunResult;
+    use hyt_graph::generators;
+
+    /// SSSP-shaped program local to the runner tests.
+    struct MiniSssp;
+    impl VertexProgram for MiniSssp {
+        type Value = u32;
+        const NEEDS_WEIGHTS: bool = true;
+        fn init(&self, v: VertexId) -> u32 {
+            if v == 0 { 0 } else { u32::MAX }
+        }
+        fn initial_frontier(&self) -> InitialFrontier {
+            InitialFrontier::Set(vec![0])
+        }
+        fn message(&self, seed: u32, ctx: EdgeCtx) -> Option<u32> {
+            (seed != u32::MAX).then(|| seed.saturating_add(ctx.weight))
+        }
+        fn accumulate(&self, state: u32, msg: u32) -> Option<u32> {
+            (msg < state).then_some(msg)
+        }
+    }
+
+    fn run_default(g: hyt_graph::Csr) -> (HyTGraphSystem, RunResult<u32>) {
+        let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+        let r = sys.run(MiniSssp);
+        (sys, r)
+    }
+
+    #[test]
+    fn effective_bpe_depends_on_weight_need() {
+        let g = generators::rmat(8, 4.0, 1, true);
+        let sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+        assert_eq!(sys.effective_bytes_per_edge::<MiniSssp>(), 8);
+        struct Blind;
+        impl VertexProgram for Blind {
+            type Value = u32;
+            fn init(&self, v: VertexId) -> u32 {
+                v
+            }
+            fn initial_frontier(&self) -> InitialFrontier {
+                InitialFrontier::All
+            }
+            fn message(&self, s: u32, _: EdgeCtx) -> Option<u32> {
+                Some(s)
+            }
+            fn accumulate(&self, s: u32, m: u32) -> Option<u32> {
+                (m < s).then_some(m)
+            }
+        }
+        assert_eq!(sys.effective_bytes_per_edge::<Blind>(), 4);
+    }
+
+    #[test]
+    fn per_iteration_records_cover_every_iteration() {
+        let g = generators::rmat(10, 8.0, 3, true);
+        let (_, r) = run_default(g);
+        assert_eq!(r.per_iteration.len(), r.iterations as usize);
+        for (i, it) in r.per_iteration.iter().enumerate() {
+            assert_eq!(it.iteration, i as u32);
+            assert!(it.active_vertices > 0, "iteration {i} had no input frontier");
+            assert!(it.time > 0.0);
+        }
+    }
+
+    #[test]
+    fn iteration_time_includes_orchestration_overhead() {
+        let g = generators::chain(3, true);
+        let (sys, r) = run_default(g);
+        let overhead = ITERATION_OVERHEAD_COPIES * sys.config().machine.pcie.copy_latency;
+        for it in &r.per_iteration {
+            assert!(it.time >= overhead);
+        }
+    }
+
+    #[test]
+    fn startup_passes_charge_once() {
+        let g = generators::rmat(9, 6.0, 4, true);
+        let time_with = |passes: f64| {
+            let cfg = HyTGraphConfig {
+                startup_edge_passes: passes,
+                ..HyTGraphConfig::default()
+            };
+            let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+            sys.run(MiniSssp).total_time
+        };
+        let base = time_with(0.0);
+        let with = time_with(4.0);
+        let expected =
+            4.0 * (g.num_edges() * 8) as f64 / HyTGraphConfig::default().machine.compaction_bw;
+        assert!((with - base - expected).abs() < expected * 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn hub_sorted_results_return_in_original_order() {
+        let g = generators::rmat(9, 8.0, 6, true);
+        // With CDS on (default) the graph is hub-sorted internally; results
+        // must still be indexed by original ids.
+        let (_, with_hub) = run_default(g.clone());
+        let cfg = HyTGraphConfig { contribution_scheduling: false, ..HyTGraphConfig::default() };
+        let mut sys = HyTGraphSystem::new(g, cfg);
+        let without_hub = sys.run(MiniSssp);
+        assert_eq!(with_hub.values, without_hub.values);
+    }
+
+    #[test]
+    fn grus_caches_then_stops_migrating() {
+        let g = generators::rmat(9, 8.0, 8, true);
+        let mut cfg = crate::SystemKind::Grus.configure(HyTGraphConfig::default());
+        // Plenty of budget: everything becomes resident after first touch.
+        cfg.machine.edge_budget = g.edge_bytes() * 8;
+        let mut sys = HyTGraphSystem::new(g, cfg);
+        let r = sys.run(crate::systems::tests_support::AllActiveMin);
+        let first = r.per_iteration.first().unwrap().counters.um_bytes;
+        let later: u64 =
+            r.per_iteration.iter().skip(1).map(|it| it.counters.um_bytes).sum();
+        assert!(first > 0);
+        assert!(later <= first, "later iterations re-migrated: {later} vs first {first}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Engine selection — Algorithm 1, lines 2–13.
+//!
+//! Per active partition, with α = 0.8 (Subway's compaction-pays-off
+//! threshold) and β = 0.4 (the many-small-active-vertices guard):
+//!
+//! ```text
+//! if Tec < α·Tef and Tec < β·Tiz:  ExpTM-compaction
+//! elif Tef < Tiz:                  ExpTM-filter
+//! else:                            ImpTM-zero-copy
+//! ```
+//!
+//! Baseline systems replace the hybrid rule with a constant choice; the
+//! Grus-like policy layers a residency check on top (resident → UM "hit",
+//! capacity left → UM migrate, otherwise zero-copy).
+
+use crate::cost::{partition_costs, PartitionCosts};
+use hyt_engines::{EngineKind, PartitionActivity};
+use hyt_sim::PcieModel;
+
+/// Which selection policy the system runs (a whole "system" in the paper's
+/// Table V is a policy plus scheduling flags; see `systems.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Selection {
+    /// HyTGraph's cost-aware hybrid rule (Algorithm 1).
+    Hybrid,
+    /// Always ExpTM-filter (GraphReduce/Graphie-class).
+    FilterOnly,
+    /// Always ExpTM-compaction (Subway).
+    CompactionOnly,
+    /// Always ImpTM-zero-copy (EMOGI).
+    ZeroCopyOnly,
+    /// Always ImpTM-unified-memory (HALO-class).
+    UnifiedOnly,
+    /// Grus-like: unified-memory as a cache; zero-copy once the device is
+    /// full.
+    GrusLike,
+    /// Host-only execution (Galois-class comparison row).
+    CpuOnly,
+}
+
+/// Tuning constants of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectParams {
+    /// Compaction-vs-filter threshold (paper: 0.8).
+    pub alpha: f64,
+    /// Compaction-vs-zero-copy threshold (paper: 0.4).
+    pub beta: f64,
+}
+
+impl Default for SelectParams {
+    fn default() -> Self {
+        SelectParams { alpha: 0.8, beta: 0.4 }
+    }
+}
+
+/// The hybrid rule for one partition (Algorithm 1 lines 4–12).
+pub fn choose_engine(costs: &PartitionCosts, p: &SelectParams) -> EngineKind {
+    if costs.tec < p.alpha * costs.tef && costs.tec < p.beta * costs.tiz {
+        EngineKind::ExpCompaction
+    } else if costs.tef < costs.tiz {
+        EngineKind::ExpFilter
+    } else {
+        EngineKind::ImpZeroCopy
+    }
+}
+
+/// Decide an engine for every **active** partition under `selection`.
+/// Returns `(partition index in acts, engine)` for active partitions, in
+/// partition order; inactive partitions are skipped (nothing to schedule).
+///
+/// `GrusLike` and `UnifiedOnly` are stateful (device residency) and decided
+/// in `systems.rs`; this function handles the stateless policies.
+pub fn select_engines(
+    acts: &[PartitionActivity],
+    pcie: &PcieModel,
+    bytes_per_edge: u64,
+    selection: Selection,
+    params: &SelectParams,
+) -> Vec<(usize, EngineKind)> {
+    acts.iter()
+        .enumerate()
+        .filter(|(_, a)| a.is_active())
+        .map(|(i, a)| {
+            let kind = match selection {
+                Selection::Hybrid => {
+                    choose_engine(&partition_costs(a, pcie, bytes_per_edge), params)
+                }
+                Selection::FilterOnly => EngineKind::ExpFilter,
+                Selection::CompactionOnly => EngineKind::ExpCompaction,
+                Selection::ZeroCopyOnly => EngineKind::ImpZeroCopy,
+                Selection::UnifiedOnly | Selection::GrusLike => EngineKind::ImpUnified,
+                Selection::CpuOnly => {
+                    unreachable!("CPU-only systems bypass engine selection")
+                }
+            };
+            (i, kind)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(tef: f64, tec: f64, tiz: f64) -> PartitionCosts {
+        PartitionCosts { tef, tec, tiz }
+    }
+
+    #[test]
+    fn compaction_needs_both_thresholds() {
+        let p = SelectParams::default();
+        // Tec well under both scaled costs.
+        assert_eq!(choose_engine(&costs(10.0, 1.0, 10.0), &p), EngineKind::ExpCompaction);
+        // Beats alpha*Tef but not beta*Tiz -> falls through; Tef < Tiz.
+        assert_eq!(choose_engine(&costs(10.0, 5.0, 12.0), &p), EngineKind::ExpFilter);
+        // Beats beta*Tiz but not alpha*Tef -> falls through; Tiz < Tef.
+        assert_eq!(choose_engine(&costs(5.0, 4.5, 100.0), &p), EngineKind::ExpFilter);
+    }
+
+    #[test]
+    fn filter_vs_zero_copy_tiebreak() {
+        let p = SelectParams::default();
+        assert_eq!(choose_engine(&costs(3.0, 9.0, 5.0), &p), EngineKind::ExpFilter);
+        assert_eq!(choose_engine(&costs(5.0, 9.0, 3.0), &p), EngineKind::ImpZeroCopy);
+        // Exact tie goes to zero-copy (strict <).
+        assert_eq!(choose_engine(&costs(3.0, 9.0, 3.0), &p), EngineKind::ImpZeroCopy);
+    }
+
+    #[test]
+    fn thresholds_respond_to_params() {
+        let loose = SelectParams { alpha: 1.0, beta: 1.0 };
+        // With alpha=beta=1 compaction wins whenever strictly cheapest.
+        assert_eq!(choose_engine(&costs(10.0, 9.0, 10.5), &loose), EngineKind::ExpCompaction);
+        let strict = SelectParams { alpha: 0.1, beta: 0.1 };
+        assert_eq!(choose_engine(&costs(10.0, 9.0, 10.5), &strict), EngineKind::ExpFilter);
+    }
+
+    #[test]
+    fn stateless_policies_are_constant() {
+        let acts = vec![
+            PartitionActivity {
+                partition: 0,
+                active_vertices: vec![1],
+                active_edges: 10,
+                total_edges: 100,
+                zc_requests: 1,
+            },
+            PartitionActivity {
+                partition: 1,
+                active_vertices: vec![],
+                active_edges: 0,
+                total_edges: 100,
+                zc_requests: 0,
+            },
+        ];
+        let pcie = PcieModel::pcie3();
+        let sel =
+            select_engines(&acts, &pcie, 4, Selection::FilterOnly, &SelectParams::default());
+        assert_eq!(sel, vec![(0, EngineKind::ExpFilter)]); // inactive skipped
+        let sel =
+            select_engines(&acts, &pcie, 4, Selection::ZeroCopyOnly, &SelectParams::default());
+        assert_eq!(sel, vec![(0, EngineKind::ImpZeroCopy)]);
+    }
+
+    #[test]
+    fn hybrid_uses_cost_model() {
+        // A dense fully-active partition (filter should win over ZC) and a
+        // sparse one (ZC should win).
+        let dense = PartitionActivity {
+            partition: 0,
+            active_vertices: (0..32_768).collect(),
+            active_edges: 131_072,
+            total_edges: 131_072,
+            zc_requests: 32_768,
+        };
+        let sparse = PartitionActivity {
+            partition: 1,
+            active_vertices: vec![5, 6, 7],
+            active_edges: 96,
+            total_edges: 1_000_000,
+            zc_requests: 3,
+        };
+        let pcie = PcieModel::pcie3();
+        let sel = select_engines(
+            &[dense, sparse],
+            &pcie,
+            4,
+            Selection::Hybrid,
+            &SelectParams::default(),
+        );
+        assert_eq!(sel[0].1, EngineKind::ExpFilter);
+        assert_eq!(sel[1].1, EngineKind::ImpZeroCopy);
+    }
+}

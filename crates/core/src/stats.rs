@@ -1,0 +1,142 @@
+//! Per-iteration and per-run statistics.
+//!
+//! Everything the paper's evaluation plots need is recorded here:
+//! Fig. 3(a)/(d) activity proportions, Fig. 3(b)/(c) phase breakdowns,
+//! Fig. 7(a)/(b) engine mixes, Fig. 7(c)/(d) per-iteration runtimes, and
+//! Table VI transfer counters.
+
+use hyt_engines::EngineKind;
+use hyt_sim::{SimTime, TransferCounters};
+use serde::Serialize;
+
+/// How many active partitions each engine served in one iteration
+/// (Fig. 7(a)/(b)'s stacked proportions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct EngineMix {
+    /// Partitions served by ExpTM-filter.
+    pub filter: u32,
+    /// Partitions served by ExpTM-compaction.
+    pub compaction: u32,
+    /// Partitions served by ImpTM-zero-copy.
+    pub zero_copy: u32,
+    /// Partitions served by ImpTM-unified-memory.
+    pub unified: u32,
+}
+
+impl EngineMix {
+    /// Record `n` partitions for `kind`.
+    pub fn add(&mut self, kind: EngineKind, n: u32) {
+        match kind {
+            EngineKind::ExpFilter => self.filter += n,
+            EngineKind::ExpCompaction => self.compaction += n,
+            EngineKind::ImpZeroCopy => self.zero_copy += n,
+            EngineKind::ImpUnified => self.unified += n,
+        }
+    }
+
+    /// Total active partitions.
+    pub fn total(&self) -> u32 {
+        self.filter + self.compaction + self.zero_copy + self.unified
+    }
+
+    /// `(filter, compaction, zero_copy, unified)` as fractions of the
+    /// total (zeros when idle).
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.filter as f64 / t,
+            self.compaction as f64 / t,
+            self.zero_copy as f64 / t,
+            self.unified as f64 / t,
+        )
+    }
+}
+
+/// One iteration's record.
+#[derive(Clone, Debug, Serialize)]
+pub struct IterationStats {
+    /// Iteration number (0-based).
+    pub iteration: u32,
+    /// Active vertices at iteration start.
+    pub active_vertices: u64,
+    /// Active edges at iteration start.
+    pub active_edges: u64,
+    /// Partitions with any activity.
+    pub active_partitions: u32,
+    /// Total partitions.
+    pub total_partitions: u32,
+    /// Engine mix over active partitions.
+    pub mix: EngineMix,
+    /// Scheduled tasks after combining.
+    pub tasks: u32,
+    /// Iteration makespan (simulated seconds).
+    pub time: SimTime,
+    /// Bus busy time within the iteration.
+    pub transfer_time: SimTime,
+    /// GPU busy time.
+    pub compute_time: SimTime,
+    /// CPU compaction busy time.
+    pub compaction_time: SimTime,
+    /// Transfer counters for the iteration.
+    pub counters: TransferCounters,
+}
+
+/// Whole-run result.
+#[derive(Clone, Debug)]
+pub struct RunResult<V> {
+    /// Final vertex values in **original** vertex-id order (hub-sort
+    /// relabelling, if any, is undone).
+    pub values: Vec<V>,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Total simulated runtime (Σ iteration makespans + per-iteration
+    /// scheduling overhead).
+    pub total_time: SimTime,
+    /// Per-iteration records.
+    pub per_iteration: Vec<IterationStats>,
+    /// Run-total transfer counters.
+    pub counters: TransferCounters,
+}
+
+impl<V> RunResult<V> {
+    /// Transfer volume normalised to edge-data volume (Table VI's metric).
+    pub fn transfer_ratio(&self, edge_bytes: u64) -> f64 {
+        self.counters.transfer_ratio(edge_bytes)
+    }
+
+    /// Convenience: totals of the three phase-busy times (Fig. 3(c)).
+    pub fn phase_totals(&self) -> (SimTime, SimTime, SimTime) {
+        let mut t = (0.0, 0.0, 0.0);
+        for it in &self.per_iteration {
+            t.0 += it.compaction_time;
+            t.1 += it.transfer_time;
+            t.2 += it.compute_time;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_accumulates_and_fractions() {
+        let mut m = EngineMix::default();
+        m.add(EngineKind::ExpFilter, 3);
+        m.add(EngineKind::ImpZeroCopy, 1);
+        m.add(EngineKind::ExpFilter, 1);
+        assert_eq!(m.total(), 5);
+        let (f, c, z, u) = m.fractions();
+        assert!((f - 0.8).abs() < 1e-12);
+        assert_eq!(c, 0.0);
+        assert!((z - 0.2).abs() < 1e-12);
+        assert_eq!(u, 0.0);
+    }
+
+    #[test]
+    fn empty_mix_has_zero_fractions() {
+        let m = EngineMix::default();
+        assert_eq!(m.fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! ExpTM-filter: ship whole partitions that contain any active edge.
+//!
+//! The filter engine (GraphReduce / Graphie / GTS style) does no CPU work:
+//! every partition with at least one active vertex is copied to the device
+//! in its entirety with `cudaMemcpy`. Bandwidth utilisation is maximal
+//! (saturated TLPs), redundancy is everything inactive inside the shipped
+//! partitions — formula (1):
+//!
+//! ```text
+//! Tef_i = ⌈ (Σ_{v∈Pi} Do(v)) · d1 / m / MR ⌉ · RTT
+//! ```
+
+use crate::activity::PartitionActivity;
+use crate::plan::{EngineKind, TaskPlan};
+use hyt_graph::Csr;
+use hyt_sim::{MachineModel, TransferCounters};
+
+/// Price an ExpTM-filter task over one or more (task-combined) partitions.
+///
+/// Transfer covers every byte of each partition; the kernel relaxes only
+/// the active edges (the GPU-side frontier check skips inactive vertices
+/// after the data is resident).
+pub fn plan_filter(
+    machine: &MachineModel,
+    graph: &Csr,
+    acts: &[&PartitionActivity],
+    bytes_per_edge: u64,
+) -> TaskPlan {
+    let _ = graph;
+    let bpe = bytes_per_edge;
+    let mut partitions = Vec::with_capacity(acts.len());
+    let mut active_vertices = Vec::new();
+    let mut active_edges = 0u64;
+    let mut bytes = 0u64;
+    for a in acts {
+        partitions.push(a.partition);
+        active_vertices.extend_from_slice(&a.active_vertices);
+        active_edges += a.active_edges;
+        bytes += a.total_edges * bpe;
+    }
+    let transfer_time = machine.pcie.explicit_copy_time(bytes);
+    let kernel_time = machine.kernel.kernel_time(active_edges);
+    let counters = TransferCounters {
+        explicit_bytes: bytes,
+        tlps: machine.pcie.explicit_copy_tlps(bytes),
+        kernel_edges: active_edges,
+        kernel_launches: 1,
+        ..Default::default()
+    };
+    TaskPlan {
+        kind: EngineKind::ExpFilter,
+        partitions,
+        active_vertices,
+        active_edges,
+        cpu_time: 0.0,
+        transfer_time,
+        kernel_time,
+        counters,
+        compacted: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::analyze_partitions;
+    use hyt_graph::{generators, Frontier, PartitionSet};
+    use hyt_sim::PcieModel;
+
+    #[test]
+    fn transfers_whole_partition_even_for_one_active_vertex() {
+        let g = generators::rmat(9, 8.0, 3, true);
+        let ps = PartitionSet::build_count(&g, 8);
+        let f = Frontier::new(g.num_vertices());
+        f.insert(0); // one active vertex
+        let machine = MachineModel::paper_platform();
+        let acts = analyze_partitions(&g, &ps, &f, &PcieModel::pcie3(), g.bytes_per_edge(), 2);
+        let a = &acts[ps.owner_of(0) as usize];
+        let plan = plan_filter(&machine, &g, &[a], g.bytes_per_edge());
+        // Bytes cover the full partition, not just vertex 0's run.
+        assert_eq!(plan.counters.explicit_bytes, a.total_edges * g.bytes_per_edge());
+        assert!(plan.counters.explicit_bytes > g.out_degree(0) * g.bytes_per_edge());
+        assert_eq!(plan.cpu_time, 0.0);
+        assert_eq!(plan.active_vertices, vec![0]);
+    }
+
+    #[test]
+    fn combined_partitions_sum_bytes() {
+        let g = generators::rmat(9, 8.0, 4, true);
+        let ps = PartitionSet::build_count(&g, 8);
+        let f = Frontier::full(g.num_vertices());
+        let machine = MachineModel::paper_platform();
+        let acts = analyze_partitions(&g, &ps, &f, &PcieModel::pcie3(), g.bytes_per_edge(), 2);
+        let refs: Vec<_> = acts.iter().take(3).collect();
+        let plan = plan_filter(&machine, &g, &refs, g.bytes_per_edge());
+        let want: u64 = refs.iter().map(|a| a.total_edges).sum::<u64>() * g.bytes_per_edge();
+        assert_eq!(plan.counters.explicit_bytes, want);
+        assert_eq!(plan.partitions, vec![0, 1, 2]);
+        assert_eq!(plan.counters.kernel_launches, 1);
+    }
+
+    #[test]
+    fn transfer_time_matches_formula_one() {
+        let g = generators::rmat(8, 8.0, 5, false);
+        let ps = PartitionSet::build_count(&g, 4);
+        let f = Frontier::full(g.num_vertices());
+        let machine = MachineModel::paper_platform();
+        let acts = analyze_partitions(&g, &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
+        let plan = plan_filter(&machine, &g, &[&acts[0]], g.bytes_per_edge());
+        let bytes = acts[0].total_edges * g.bytes_per_edge();
+        let tlps = bytes.div_ceil(machine.pcie.tlp_payload());
+        let want = machine.pcie.copy_latency + tlps as f64 * machine.pcie.rtt();
+        assert!((plan.transfer_time - want).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! The four host→GPU transfer engines (Section II-B/C of the paper).
+//!
+//! An engine answers one question per scheduled task: *how do the active
+//! edges of these partitions reach the GPU, at what simulated cost, and in
+//! what form does the kernel consume them?* The four answers:
+//!
+//! | engine | mechanism | granularity | redundancy |
+//! |---|---|---|---|
+//! | [`filter`] (ExpTM-F) | `cudaMemcpy` whole partitions | partition | inactive edges of shipped partitions |
+//! | [`compaction`] (ExpTM-C) | CPU gathers active edges, then `cudaMemcpy` | exact | none (pays CPU gather) |
+//! | [`zero_copy`] (ImpTM-ZC) | on-demand cacheline reads over PCIe TLPs | 128 B request | cacheline padding, unsaturated TLPs |
+//! | [`unified`] (ImpTM-UM) | page-fault migration with LRU residency | 4 KB page | page padding, refault thrash |
+//!
+//! Engines *plan*: they compute the byte/TLP/page traffic and the simulated
+//! phase times of a task, and (for compaction) materialise the real
+//! compacted subgraph the kernel will consume. Plan execution — running the
+//! vertex program over the delivered edges and scheduling phases on CUDA
+//! streams — belongs to `hyt-core`.
+
+pub mod activity;
+pub mod compaction;
+pub mod filter;
+pub mod plan;
+pub mod unified;
+pub mod zero_copy;
+
+pub use activity::{analyze_partitions, PartitionActivity};
+pub use compaction::CompactedSubgraph;
+pub use plan::{EngineKind, TaskPlan};
+pub use unified::UnifiedState;

@@ -1,0 +1,126 @@
+//! Task plans: what an engine promises to deliver and at what cost.
+
+use hyt_graph::VertexId;
+use hyt_sim::{SimTask, SimTime, TransferCounters};
+
+use crate::compaction::CompactedSubgraph;
+
+/// Which transfer engine a task uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// ExpTM-filter: explicit copy of whole partitions.
+    ExpFilter,
+    /// ExpTM-compaction: CPU gather then explicit copy.
+    ExpCompaction,
+    /// ImpTM-zero-copy: on-demand cacheline access.
+    ImpZeroCopy,
+    /// ImpTM-unified-memory: page-fault migration.
+    ImpUnified,
+}
+
+impl EngineKind {
+    /// Short label used in traces and the Fig. 7 execution-path report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::ExpFilter => "E-F",
+            EngineKind::ExpCompaction => "E-C",
+            EngineKind::ImpZeroCopy => "I-ZC",
+            EngineKind::ImpUnified => "I-UM",
+        }
+    }
+}
+
+/// A fully-priced unit of scheduling: one or more partitions' active work
+/// delivered through a single engine.
+#[derive(Debug)]
+pub struct TaskPlan {
+    /// The engine delivering the data.
+    pub kind: EngineKind,
+    /// Partitions covered (≥1; >1 after task combining).
+    pub partitions: Vec<u32>,
+    /// Active vertices the kernel must process (global ids, ascending
+    /// within each partition).
+    pub active_vertices: Vec<VertexId>,
+    /// Edges the kernel will relax.
+    pub active_edges: u64,
+    /// Host CPU phase duration (compaction; 0 for other engines).
+    pub cpu_time: SimTime,
+    /// Bus phase duration.
+    pub transfer_time: SimTime,
+    /// GPU kernel phase duration.
+    pub kernel_time: SimTime,
+    /// Traffic this task generates (merged into iteration counters).
+    pub counters: TransferCounters,
+    /// The real compacted subgraph (ExpTM-compaction only): the kernel
+    /// consumes this instead of the host CSR, exactly like Subway.
+    pub compacted: Option<CompactedSubgraph>,
+}
+
+impl TaskPlan {
+    /// Convert to a stream-schedulable task. Zero-copy and unified-memory
+    /// fuse transfer and kernel (implicit overlap); explicit engines
+    /// pipeline transfer → kernel; compaction prepends the CPU phase.
+    pub fn to_sim_task(&self) -> SimTask {
+        let label = format!("{}:{:?}", self.kind.label(), self.partitions);
+        match self.kind {
+            EngineKind::ExpFilter => SimTask::explicit(label, self.transfer_time, self.kernel_time),
+            EngineKind::ExpCompaction => {
+                SimTask::compaction(label, self.cpu_time, self.transfer_time, self.kernel_time)
+            }
+            EngineKind::ImpZeroCopy | EngineKind::ImpUnified => {
+                SimTask::zero_copy(label, self.transfer_time, self.kernel_time)
+            }
+        }
+    }
+
+    /// Serial (no-overlap) duration: the quantity cost comparison uses.
+    pub fn serial_time(&self) -> SimTime {
+        match self.kind {
+            EngineKind::ImpZeroCopy | EngineKind::ImpUnified => {
+                self.transfer_time.max(self.kernel_time)
+            }
+            _ => self.cpu_time + self.transfer_time + self.kernel_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(kind: EngineKind) -> TaskPlan {
+        TaskPlan {
+            kind,
+            partitions: vec![0],
+            active_vertices: vec![1, 2],
+            active_edges: 10,
+            cpu_time: 1.0,
+            transfer_time: 2.0,
+            kernel_time: 3.0,
+            counters: TransferCounters::default(),
+            compacted: None,
+        }
+    }
+
+    #[test]
+    fn labels_match_fig3_legend() {
+        assert_eq!(EngineKind::ExpFilter.label(), "E-F");
+        assert_eq!(EngineKind::ExpCompaction.label(), "E-C");
+        assert_eq!(EngineKind::ImpZeroCopy.label(), "I-ZC");
+        assert_eq!(EngineKind::ImpUnified.label(), "I-UM");
+    }
+
+    #[test]
+    fn sim_task_shape_matches_engine() {
+        assert_eq!(plan(EngineKind::ExpFilter).to_sim_task().phases.len(), 2);
+        assert_eq!(plan(EngineKind::ExpCompaction).to_sim_task().phases.len(), 3);
+        assert_eq!(plan(EngineKind::ImpZeroCopy).to_sim_task().phases.len(), 1);
+    }
+
+    #[test]
+    fn serial_time_fuses_implicit_engines() {
+        assert_eq!(plan(EngineKind::ImpZeroCopy).serial_time(), 3.0);
+        assert_eq!(plan(EngineKind::ExpCompaction).serial_time(), 6.0);
+        assert_eq!(plan(EngineKind::ExpFilter).serial_time(), 6.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Mutable edge-list container: the interchange format between generators,
+//! text IO, and [`Csr`] construction.
+
+use crate::{Csr, CsrBuilder, VertexId, Weight};
+
+/// A growable list of directed, optionally weighted edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: u32,
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<Weight>,
+    weighted: bool,
+}
+
+impl EdgeList {
+    /// Empty list over `num_vertices` vertices (unweighted until the first
+    /// weighted push).
+    pub fn new(num_vertices: u32) -> Self {
+        EdgeList { num_vertices, ..Default::default() }
+    }
+
+    /// Empty list with pre-allocated edge capacity.
+    pub fn with_capacity(num_vertices: u32, edges: usize) -> Self {
+        let mut el = Self::new(num_vertices);
+        el.edges.reserve(edges);
+        el
+    }
+
+    /// Number of vertices in the id space.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edges are present.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether any weighted edge was pushed.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// The raw edge pairs.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Weight of edge `i` (1 when unweighted).
+    pub fn weight(&self, i: usize) -> Weight {
+        if self.weighted { self.weights[i] } else { 1 }
+    }
+
+    /// Add an unweighted edge. Panics in debug builds on out-of-range ids.
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        debug_assert!(src < self.num_vertices && dst < self.num_vertices);
+        if self.weighted {
+            self.weights.push(1);
+        }
+        self.edges.push((src, dst));
+    }
+
+    /// Add a weighted edge. Promotes the list to weighted, back-filling
+    /// earlier edges with weight 1.
+    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: Weight) {
+        debug_assert!(src < self.num_vertices && dst < self.num_vertices);
+        if !self.weighted {
+            self.weights = vec![1; self.edges.len()];
+            self.weighted = true;
+        }
+        self.edges.push((src, dst));
+        self.weights.push(w);
+    }
+
+    /// Append the reverse of every edge (making the graph symmetric, the
+    /// standard treatment for undirected inputs such as Friendster).
+    pub fn symmetrize(&mut self) {
+        let n = self.edges.len();
+        self.edges.reserve(n);
+        for i in 0..n {
+            let (s, d) = self.edges[i];
+            self.edges.push((d, s));
+            if self.weighted {
+                let w = self.weights[i];
+                self.weights.push(w);
+            }
+        }
+    }
+
+    /// Remove duplicate edges (keeping the first weight) and self-loops.
+    pub fn dedup(&mut self) {
+        let mut order: Vec<usize> = (0..self.edges.len()).collect();
+        order.sort_unstable_by_key(|&i| self.edges[i]);
+        let mut keep = Vec::with_capacity(self.edges.len());
+        let mut last: Option<(VertexId, VertexId)> = None;
+        for i in order {
+            let e = self.edges[i];
+            if e.0 == e.1 {
+                continue;
+            }
+            if last != Some(e) {
+                keep.push(i);
+                last = Some(e);
+            }
+        }
+        keep.sort_unstable();
+        let mut edges = Vec::with_capacity(keep.len());
+        let mut weights = Vec::with_capacity(if self.weighted { keep.len() } else { 0 });
+        for i in keep {
+            edges.push(self.edges[i]);
+            if self.weighted {
+                weights.push(self.weights[i]);
+            }
+        }
+        self.edges = edges;
+        self.weights = weights;
+    }
+
+    /// Convert into CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut b = CsrBuilder::new(self.num_vertices, self.weighted);
+        b.reserve(self.edges.len());
+        for (i, &(s, d)) in self.edges.iter().enumerate() {
+            if self.weighted {
+                b.add_weighted_edge(s, d, self.weights[i]);
+            } else {
+                b.add_edge(s, d);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_weighted_promotes_and_backfills() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(1, 2);
+        assert!(!el.is_weighted());
+        el.push_weighted(2, 3, 7);
+        assert!(el.is_weighted());
+        assert_eq!(el.weight(0), 1);
+        assert_eq!(el.weight(2), 7);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 5);
+        el.push_weighted(1, 2, 9);
+        el.symmetrize();
+        assert_eq!(el.len(), 4);
+        assert_eq!(el.edges()[2], (1, 0));
+        assert_eq!(el.weight(2), 5);
+    }
+
+    #[test]
+    fn dedup_removes_loops_and_duplicates() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 3);
+        el.push_weighted(0, 0, 4); // self loop
+        el.push_weighted(0, 1, 8); // duplicate, later weight dropped
+        el.push_weighted(2, 1, 1);
+        el.dedup();
+        assert_eq!(el.len(), 2);
+        assert_eq!(el.edges(), &[(0, 1), (2, 1)]);
+        assert_eq!(el.weight(0), 3);
+    }
+
+    #[test]
+    fn csr_round_trip_preserves_edges() {
+        let mut el = EdgeList::new(5);
+        el.push_weighted(4, 0, 2);
+        el.push_weighted(1, 3, 6);
+        el.push_weighted(1, 2, 1);
+        let g = el.to_csr();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(1), &[3, 2]); // insertion order within source
+        assert_eq!(g.weights_of(1), &[6, 1]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Transfer and work counters.
+//!
+//! Table VI of the paper compares systems by *transfer volume normalised to
+//! edge volume*; Fig. 3 breaks iteration time into compaction / transfer /
+//! computation. [`TransferCounters`] accumulates exactly those quantities
+//! as engines execute.
+
+/// Cumulative counters for one run (or one iteration, when reset between
+/// iterations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
+pub struct TransferCounters {
+    /// Bytes moved host→GPU by explicit copies.
+    pub explicit_bytes: u64,
+    /// Bytes moved host→GPU by zero-copy requests (payload actually read).
+    pub zero_copy_bytes: u64,
+    /// Bytes migrated by unified-memory page faults.
+    pub um_bytes: u64,
+    /// TLPs issued (all mechanisms).
+    pub tlps: u64,
+    /// Unified-memory page faults.
+    pub page_faults: u64,
+    /// Edges relaxed by kernels.
+    pub kernel_edges: u64,
+    /// Bytes gathered by CPU compaction.
+    pub compaction_bytes: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+}
+
+impl TransferCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All bytes that crossed the bus, any mechanism.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.explicit_bytes + self.zero_copy_bytes + self.um_bytes
+    }
+
+    /// Transfer volume normalised to the graph's edge-data volume
+    /// (Table VI's metric).
+    pub fn transfer_ratio(&self, edge_bytes: u64) -> f64 {
+        self.total_transfer_bytes() as f64 / edge_bytes.max(1) as f64
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &TransferCounters) {
+        self.explicit_bytes += other.explicit_bytes;
+        self.zero_copy_bytes += other.zero_copy_bytes;
+        self.um_bytes += other.um_bytes;
+        self.tlps += other.tlps;
+        self.page_faults += other.page_faults;
+        self.kernel_edges += other.kernel_edges;
+        self.compaction_bytes += other.compaction_bytes;
+        self.kernel_launches += other.kernel_launches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratio() {
+        let c = TransferCounters {
+            explicit_bytes: 600,
+            zero_copy_bytes: 300,
+            um_bytes: 100,
+            ..Default::default()
+        };
+        assert_eq!(c.total_transfer_bytes(), 1000);
+        assert!((c.transfer_ratio(500) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_handles_zero_edges() {
+        let c = TransferCounters { explicit_bytes: 10, ..Default::default() };
+        assert!((c.transfer_ratio(0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = TransferCounters { tlps: 1, kernel_edges: 5, ..Default::default() };
+        let b = TransferCounters { tlps: 2, page_faults: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.tlps, 3);
+        assert_eq!(a.page_faults, 3);
+        assert_eq!(a.kernel_edges, 5);
+    }
+}

@@ -1,0 +1,72 @@
+//! Tuning the hybrid cost model: sweep α, β, partition size and the
+//! task-combining width k, and watch the effect on runtime and engine mix.
+//!
+//! ```text
+//! cargo run --release --example tuning_cost_model
+//! ```
+//!
+//! The paper fixes α = 0.8, β = 0.4, 32 MB partitions, k = 4; this example
+//! shows those are sensible defaults on a workload, and demonstrates how a
+//! downstream user would re-tune them for different hardware.
+
+use hytgraph::core::{SelectParams, SystemKind};
+use hytgraph::graph::datasets::{self, DatasetId};
+use hytgraph::prelude::*;
+
+fn run_sssp(graph: &hytgraph::graph::Csr, cfg: HyTGraphConfig) -> (f64, f64) {
+    let src = (0..graph.num_vertices()).max_by_key(|&v| graph.out_degree(v)).unwrap();
+    let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
+    let r = sys.run(Sssp::from_source(src));
+    (r.total_time * 1e3, r.counters.transfer_ratio(sys.num_edges() * 8))
+}
+
+fn main() {
+    let ds = datasets::load(DatasetId::Tw);
+    let graph = &ds.graph;
+    println!(
+        "twitter proxy: {} vertices, {} edges\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let base = || SystemKind::HyTGraph.configure(HyTGraphConfig::default());
+
+    println!("alpha sweep (compaction-vs-filter threshold; paper: 0.8)");
+    for alpha in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mut cfg = base();
+        cfg.select_params = SelectParams { alpha, ..cfg.select_params };
+        let (t, x) = run_sssp(graph, cfg);
+        println!("  alpha={alpha:<4}  SSSP {t:>7.2} ms  transfer {x:.2}X");
+    }
+
+    println!("\nbeta sweep (compaction-vs-zero-copy threshold; paper: 0.4)");
+    for beta in [0.1, 0.2, 0.4, 0.8, 1.6] {
+        let mut cfg = base();
+        cfg.select_params = SelectParams { beta, ..cfg.select_params };
+        let (t, x) = run_sssp(graph, cfg);
+        println!("  beta={beta:<4}   SSSP {t:>7.2} ms  transfer {x:.2}X");
+    }
+
+    println!("\npartition-size sweep (paper: 32 MB, scaled here to 32 KB)");
+    for kb in [4u64, 16, 32, 128, 512] {
+        let mut cfg = base();
+        cfg.partition_bytes = kb << 10;
+        let (t, x) = run_sssp(graph, cfg);
+        println!("  {kb:>4} KB     SSSP {t:>7.2} ms  transfer {x:.2}X");
+    }
+
+    println!("\ntask-combining width k (paper: 4)");
+    for k in [1usize, 2, 4, 8, 16] {
+        let mut cfg = base();
+        cfg.combine_k = k;
+        let (t, x) = run_sssp(graph, cfg);
+        println!("  k={k:<2}        SSSP {t:>7.2} ms  transfer {x:.2}X");
+    }
+
+    println!("\nhub fraction for contribution-driven scheduling (paper: 8%)");
+    for frac in [0.0, 0.02, 0.08, 0.2] {
+        let mut cfg = base();
+        cfg.hub_fraction = frac;
+        let (t, x) = run_sssp(graph, cfg);
+        println!("  {:>4.0}%      SSSP {t:>7.2} ms  transfer {x:.2}X", frac * 100.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Web-graph traversal: BFS and weighted shortest paths on a crawl-shaped
+//! graph, comparing HyTGraph against the single-engine baselines.
+//!
+//! ```text
+//! cargo run --release --example web_graph_traversal
+//! ```
+//!
+//! Traversals are where transfer management matters most: the frontier
+//! swells from one vertex to most of the graph and back, so the best
+//! engine changes every few iterations — exactly the regime where a fixed
+//! choice (always-filter, always-compact, always-zero-copy) loses.
+
+use hytgraph::core::SystemKind;
+use hytgraph::graph::datasets::{self, DatasetId};
+use hytgraph::prelude::*;
+
+fn main() {
+    // The uk-2007 proxy: high-locality web crawl shape.
+    let ds = datasets::load(DatasetId::Uk);
+    let graph = &ds.graph;
+    println!(
+        "uk-2007 proxy: {} vertices, {} edges (web-like: {})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        ds.web_like
+    );
+
+    // A well-connected crawl seed.
+    let source = (0..graph.num_vertices()).max_by_key(|&v| graph.out_degree(v)).unwrap();
+    println!("source: v{source} (degree {})\n", graph.out_degree(source));
+
+    let systems = [
+        SystemKind::ExpFilter,
+        SystemKind::ImpUnified,
+        SystemKind::Grus,
+        SystemKind::Subway,
+        SystemKind::Emogi,
+        SystemKind::HyTGraph,
+    ];
+
+    println!("{:<10} {:>12} {:>8} {:>14} {:>12}", "system", "BFS time", "iters", "SSSP time", "transfer");
+    let mut bfs_oracle: Option<Vec<u32>> = None;
+    for kind in systems {
+        let cfg = kind.configure(HyTGraphConfig::default());
+        let mut sys = HyTGraphSystem::new(graph.clone(), cfg.clone());
+        let bfs = sys.run(Bfs::from_source(source));
+        // Every system must agree on reachability.
+        match &bfs_oracle {
+            None => bfs_oracle = Some(bfs.values.clone()),
+            Some(want) => assert_eq!(&bfs.values, want, "{} diverged", kind.name()),
+        }
+        let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
+        let sssp = sys.run(Sssp::from_source(source));
+        println!(
+            "{:<10} {:>10.2}ms {:>8} {:>12.2}ms {:>11.2}X",
+            kind.name(),
+            bfs.total_time * 1e3,
+            bfs.iterations,
+            sssp.total_time * 1e3,
+            sssp.counters.transfer_ratio(sys.num_edges() * 8),
+        );
+    }
+
+    let depths = bfs_oracle.unwrap();
+    let reached = depths.iter().filter(|&&d| d != u32::MAX).count();
+    let max_depth = depths.iter().filter(|&&d| d != u32::MAX).max().unwrap();
+    println!(
+        "\nBFS reaches {:.1}% of the crawl, depth {}",
+        100.0 * reached as f64 / depths.len() as f64,
+        max_depth
+    );
+}

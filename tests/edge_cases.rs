@@ -1,0 +1,196 @@
+//! Failure-injection and degenerate-input tests: the system must behave
+//! sensibly at the boundaries (empty graphs, single partitions, zero
+//! device budget, extreme configuration values).
+
+use hytgraph::core::{AsyncMode, HyTGraphConfig, HyTGraphSystem, Selection, SystemKind};
+use hytgraph::graph::{generators, CsrBuilder, EdgeList};
+use hytgraph::prelude::*;
+
+#[test]
+fn single_vertex_graph() {
+    let g = CsrBuilder::new(1, true).build();
+    let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+    let r = sys.run(Sssp::from_source(0));
+    assert_eq!(r.values, vec![0]);
+    assert_eq!(r.iterations, 1);
+}
+
+#[test]
+fn edgeless_graph_converges_immediately() {
+    let g = CsrBuilder::new(64, false).build();
+    let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+    let r = sys.run(Bfs::from_source(7));
+    assert_eq!(r.values[7], 0);
+    assert_eq!(r.values.iter().filter(|&&d| d == u32::MAX).count(), 63);
+}
+
+#[test]
+fn self_loops_and_duplicate_edges_are_harmless() {
+    let mut el = EdgeList::new(4);
+    el.push_weighted(0, 0, 5); // self loop
+    el.push_weighted(0, 1, 3);
+    el.push_weighted(0, 1, 7); // duplicate with worse weight
+    el.push_weighted(1, 2, 2);
+    el.push_weighted(2, 2, 1);
+    let g = el.to_csr();
+    let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+    let r = sys.run(Sssp::from_source(0));
+    assert_eq!(r.values, vec![0, 3, 5, u32::MAX]);
+}
+
+#[test]
+fn saturating_weights_do_not_overflow() {
+    let mut el = EdgeList::new(3);
+    el.push_weighted(0, 1, u32::MAX);
+    el.push_weighted(1, 2, u32::MAX);
+    let g = el.to_csr();
+    let mut sys = HyTGraphSystem::new(g, HyTGraphConfig::default());
+    let r = sys.run(Sssp::from_source(0));
+    assert_eq!(r.values[1], u32::MAX - 1 + 1); // saturated add clamps
+    assert_eq!(r.values[2], u32::MAX); // still "unreached" sentinel
+}
+
+#[test]
+fn one_partition_configuration() {
+    let g = generators::rmat(9, 8.0, 4, true);
+    let cfg = HyTGraphConfig { partition_bytes: u64::MAX / 4, ..HyTGraphConfig::default() };
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+    assert_eq!(sys.num_partitions(), 1);
+    let oracle = hytgraph::algos::reference::dijkstra(&g, 0);
+    assert_eq!(sys.run(Sssp::from_source(0)).values, oracle);
+}
+
+#[test]
+fn tiny_partitions_configuration() {
+    let g = generators::rmat(8, 6.0, 3, true);
+    let cfg = HyTGraphConfig { partition_bytes: 64, ..HyTGraphConfig::default() };
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+    assert!(sys.num_partitions() > 100);
+    let oracle = hytgraph::algos::reference::dijkstra(&g, 0);
+    assert_eq!(sys.run(Sssp::from_source(0)).values, oracle);
+}
+
+#[test]
+fn zero_streams_clamps_to_one() {
+    let g = generators::rmat(8, 4.0, 1, true);
+    let cfg = HyTGraphConfig { num_streams: 0, ..HyTGraphConfig::default() };
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+    let oracle = hytgraph::algos::reference::dijkstra(&g, 0);
+    assert_eq!(sys.run(Sssp::from_source(0)).values, oracle);
+}
+
+#[test]
+fn zero_device_budget_forces_thrash_but_stays_correct() {
+    let g = generators::rmat(9, 6.0, 7, true);
+    let mut cfg = SystemKind::ImpUnified.configure(HyTGraphConfig::default());
+    cfg.machine.edge_budget = 0;
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+    let oracle = hytgraph::algos::reference::dijkstra(&g, 0);
+    let r = sys.run(Sssp::from_source(0));
+    assert_eq!(r.values, oracle);
+    assert!(r.counters.page_faults > 0);
+}
+
+#[test]
+fn single_thread_configuration_matches_parallel() {
+    let g = generators::rmat(10, 8.0, 13, true);
+    let run = |threads| {
+        let cfg = HyTGraphConfig { threads, ..HyTGraphConfig::default() };
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        sys.run(Sssp::from_source(0)).values
+    };
+    assert_eq!(run(1), run(8));
+}
+
+#[test]
+fn extreme_combine_widths() {
+    let g = generators::rmat(9, 8.0, 21, true);
+    let oracle = hytgraph::algos::reference::dijkstra(&g, 0);
+    for k in [1usize, 1000] {
+        let cfg = HyTGraphConfig { combine_k: k, ..HyTGraphConfig::default() };
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        assert_eq!(sys.run(Sssp::from_source(0)).values, oracle, "k = {k}");
+    }
+}
+
+#[test]
+fn extreme_selection_thresholds() {
+    let g = generators::rmat(9, 8.0, 22, true);
+    let oracle = hytgraph::algos::reference::dijkstra(&g, 0);
+    for (alpha, beta) in [(0.0, 0.0), (10.0, 10.0)] {
+        let cfg = HyTGraphConfig {
+            select_params: hytgraph::core::SelectParams { alpha, beta },
+            ..HyTGraphConfig::default()
+        };
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        assert_eq!(sys.run(Sssp::from_source(0)).values, oracle, "α={alpha} β={beta}");
+    }
+}
+
+#[test]
+fn hub_fraction_extremes() {
+    let g = generators::rmat(9, 8.0, 23, true);
+    let oracle = hytgraph::algos::reference::dijkstra(&g, 5);
+    for frac in [0.0, 1.0] {
+        let cfg = HyTGraphConfig { hub_fraction: frac, ..HyTGraphConfig::default() };
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        assert_eq!(sys.run(Sssp::from_source(5)).values, oracle, "fraction {frac}");
+    }
+}
+
+#[test]
+fn max_iterations_caps_runaway_runs() {
+    let g = generators::rmat(9, 8.0, 2, false);
+    let cfg = HyTGraphConfig { max_iterations: 2, ..HyTGraphConfig::default() };
+    let mut sys = HyTGraphSystem::new(g, cfg);
+    let r = sys.run(PageRank::new());
+    assert!(r.iterations <= 2);
+}
+
+#[test]
+fn grus_with_zero_budget_degrades_to_zero_copy() {
+    let g = generators::rmat(9, 6.0, 9, true);
+    let mut cfg = SystemKind::Grus.configure(HyTGraphConfig::default());
+    cfg.machine.edge_budget = 0;
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+    let r = sys.run(Sssp::from_source(0));
+    assert_eq!(r.counters.um_bytes, 0, "nothing should migrate");
+    assert!(r.counters.zero_copy_bytes > 0);
+    assert_eq!(r.values, hytgraph::algos::reference::dijkstra(&g, 0));
+}
+
+#[test]
+fn disconnected_components_with_all_selections() {
+    // Two islands; the far island must stay unreached for every policy.
+    let mut el = EdgeList::new(100);
+    for v in 0..49u32 {
+        el.push_weighted(v, v + 1, 1);
+    }
+    for v in 50..99u32 {
+        el.push_weighted(v, v + 1, 1);
+    }
+    let g = el.to_csr();
+    for sel in [
+        Selection::Hybrid,
+        Selection::FilterOnly,
+        Selection::CompactionOnly,
+        Selection::ZeroCopyOnly,
+        Selection::UnifiedOnly,
+        Selection::GrusLike,
+        Selection::CpuOnly,
+    ] {
+        let cfg = HyTGraphConfig {
+            selection: sel,
+            async_mode: if sel == Selection::CpuOnly {
+                AsyncMode::Sync
+            } else {
+                HyTGraphConfig::default().async_mode
+            },
+            ..HyTGraphConfig::default()
+        };
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        let r = sys.run(Bfs::from_source(0));
+        assert_eq!(r.values[49], 49, "{sel:?}");
+        assert_eq!(r.values[50], u32::MAX, "{sel:?}");
+    }
+}

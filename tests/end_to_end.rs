@@ -1,0 +1,213 @@
+//! Cross-crate integration tests: every system preset, every algorithm,
+//! checked against sequential oracles on graphs large enough to exercise
+//! partitioning, engine switching, task combining and hub sorting together.
+
+use hytgraph::algos::{reference, AlgoKind};
+use hytgraph::core::{AsyncMode, HyTGraphConfig, HyTGraphSystem, Selection, SystemKind};
+use hytgraph::graph::datasets::{self, DatasetId};
+use hytgraph::graph::generators;
+use hytgraph::prelude::*;
+
+/// A mid-sized skewed weighted graph that spans many partitions.
+fn test_graph() -> hytgraph::graph::Csr {
+    generators::rmat(12, 12.0, 99, true)
+}
+
+#[test]
+fn sssp_all_systems_match_dijkstra_on_large_graph() {
+    let g = test_graph();
+    let oracle = reference::dijkstra(&g, 0);
+    for kind in SystemKind::TABLE5 {
+        let mut sys = HyTGraphSystem::new(g.clone(), kind.configure(HyTGraphConfig::default()));
+        assert!(sys.num_partitions() > 10, "want many partitions, got {}", sys.num_partitions());
+        let r = sys.run(Sssp::from_source(0));
+        assert_eq!(r.values, oracle, "{} diverged from Dijkstra", kind.name());
+    }
+}
+
+#[test]
+fn pagerank_all_systems_match_power_iteration_on_large_graph() {
+    let g = test_graph();
+    let oracle = reference::pagerank(&g, 0.85, 300);
+    for kind in SystemKind::TABLE5 {
+        let mut sys = HyTGraphSystem::new(g.clone(), kind.configure(HyTGraphConfig::default()));
+        let r = sys.run(PageRank::new());
+        let ranks = PageRank::ranks(&r);
+        let err = ranks
+            .iter()
+            .zip(&oracle)
+            .map(|(&a, &b)| (a as f64 - b).abs() / b.max(1e-9))
+            .fold(0.0, f64::max);
+        assert!(err < 2e-2, "{}: relative error {err}", kind.name());
+    }
+}
+
+#[test]
+fn dataset_proxies_run_end_to_end() {
+    // The real experiment path: proxy dataset -> hub sort -> hybrid run.
+    let ds = datasets::load(DatasetId::Sk);
+    let src = (0..ds.graph.num_vertices()).max_by_key(|&v| ds.graph.out_degree(v)).unwrap();
+    let oracle = reference::dijkstra(&ds.graph, src);
+    let mut sys = HyTGraphSystem::new(ds.graph.clone(), HyTGraphConfig::default());
+    let r = sys.run(Sssp::from_source(src));
+    assert_eq!(r.values, oracle);
+    assert!(r.iterations > 1);
+    assert!(r.total_time > 0.0);
+    assert!(r.counters.total_transfer_bytes() > 0);
+}
+
+#[test]
+fn repeated_runs_are_deterministic_for_monotone_algorithms() {
+    let g = generators::rmat(11, 8.0, 5, true);
+    let run = || {
+        let mut sys = HyTGraphSystem::new(g.clone(), HyTGraphConfig::default());
+        let r = sys.run(Bfs::from_source(3));
+        (r.values, r.iterations, r.counters)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "transfer counters must be reproducible");
+}
+
+#[test]
+fn hybrid_switches_engines_across_a_traversal() {
+    // The core paper claim: during one traversal the preferred engine
+    // changes. Assert the run actually used more than one engine.
+    let ds = datasets::load(DatasetId::Fk);
+    let src = (0..ds.graph.num_vertices()).max_by_key(|&v| ds.graph.out_degree(v)).unwrap();
+    let mut sys = HyTGraphSystem::new(ds.graph.clone(), HyTGraphConfig::default());
+    let r = sys.run(Sssp::from_source(src));
+    let mut used_filter = 0u32;
+    let mut used_zc = 0u32;
+    let mut used_ec = 0u32;
+    for it in &r.per_iteration {
+        used_filter += it.mix.filter;
+        used_zc += it.mix.zero_copy;
+        used_ec += it.mix.compaction;
+    }
+    assert!(used_zc > 0, "zero-copy never chosen");
+    assert!(used_filter + used_ec > 0, "explicit transfer never chosen");
+}
+
+#[test]
+fn hybrid_total_time_at_most_best_single_engine_with_slack() {
+    // HyTGraph should not be much worse than the best pure engine (it pays
+    // selection overhead but picks per-partition winners).
+    let ds = datasets::load(DatasetId::Tw);
+    let src = (0..ds.graph.num_vertices()).max_by_key(|&v| ds.graph.out_degree(v)).unwrap();
+    let time_of = |kind: SystemKind| {
+        let mut sys = HyTGraphSystem::new(ds.graph.clone(), kind.configure(HyTGraphConfig::default()));
+        sys.run(Sssp::from_source(src)).total_time
+    };
+    let hyt = time_of(SystemKind::HyTGraph);
+    let best_pure = [SystemKind::ExpFilter, SystemKind::Subway, SystemKind::Emogi]
+        .into_iter()
+        .map(time_of)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        hyt <= best_pure * 1.5,
+        "HyTGraph {hyt:.6}s should be within 1.5x of best pure engine {best_pure:.6}s"
+    );
+}
+
+#[test]
+fn sync_and_async_agree_on_final_values() {
+    let g = generators::rmat(11, 8.0, 17, true);
+    let oracle = reference::dijkstra(&g, 0);
+    for mode in [AsyncMode::Sync, AsyncMode::Async { recompute: 0 }, AsyncMode::Async { recompute: 3 }] {
+        let cfg = HyTGraphConfig { async_mode: mode, ..HyTGraphConfig::default() };
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        let r = sys.run(Sssp::from_source(0));
+        assert_eq!(r.values, oracle, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn async_recompute_reduces_iterations() {
+    let g = generators::power_law_local(20_000, 10.0, 1.5, 0.9, 60, 8, true);
+    let iters_at = |recompute: u32| {
+        let cfg = HyTGraphConfig {
+            async_mode: AsyncMode::Async { recompute },
+            ..HyTGraphConfig::default()
+        };
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        sys.run(Sssp::from_source(0)).iterations
+    };
+    let sync_like = iters_at(0);
+    let squeezed = iters_at(4);
+    assert!(
+        squeezed <= sync_like,
+        "recompute must not increase iterations: {squeezed} vs {sync_like}"
+    );
+}
+
+#[test]
+fn cpu_system_transfers_nothing() {
+    let g = generators::rmat(10, 8.0, 2, true);
+    let cfg = SystemKind::CpuGalois.configure(HyTGraphConfig::default());
+    let mut sys = HyTGraphSystem::new(g, cfg);
+    let r = sys.run(Cc::new());
+    assert_eq!(r.counters.total_transfer_bytes(), 0);
+    assert!(r.total_time > 0.0);
+}
+
+#[test]
+fn every_algorithm_runs_on_every_dataset_proxy() {
+    // Smoke coverage of the full experiment grid on the smallest proxy.
+    let ds = datasets::load(DatasetId::Sk);
+    let src = (0..ds.graph.num_vertices()).max_by_key(|&v| ds.graph.out_degree(v)).unwrap();
+    for algo in [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Cc, AlgoKind::Bfs, AlgoKind::Php] {
+        let mut sys = HyTGraphSystem::new(ds.graph.clone(), HyTGraphConfig::default());
+        let (iters, time) = match algo {
+            AlgoKind::PageRank => {
+                let r = sys.run(PageRank::new());
+                (r.iterations, r.total_time)
+            }
+            AlgoKind::Sssp => {
+                let r = sys.run(Sssp::from_source(src));
+                (r.iterations, r.total_time)
+            }
+            AlgoKind::Cc => {
+                let r = sys.run(Cc::new());
+                (r.iterations, r.total_time)
+            }
+            AlgoKind::Bfs => {
+                let r = sys.run(Bfs::from_source(src));
+                (r.iterations, r.total_time)
+            }
+            AlgoKind::Php => {
+                let r = sys.run(Php::from_source(src));
+                (r.iterations, r.total_time)
+            }
+        };
+        assert!(iters > 0 && time > 0.0, "{:?} did no work", algo);
+    }
+}
+
+#[test]
+fn selection_policies_differ_in_transfer_profile() {
+    // Filter moves the most bytes; compaction the least explicit bytes of
+    // the explicit engines; zero-copy moves only cacheline-padded reads.
+    let g = generators::rmat(12, 12.0, 31, true);
+    let run = |sel: Selection| {
+        let cfg = HyTGraphConfig {
+            selection: sel,
+            async_mode: AsyncMode::Sync,
+            contribution_scheduling: false,
+            ..HyTGraphConfig::default()
+        };
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        sys.run(Sssp::from_source(0)).counters
+    };
+    let filter = run(Selection::FilterOnly);
+    let compaction = run(Selection::CompactionOnly);
+    let zc = run(Selection::ZeroCopyOnly);
+    assert!(filter.explicit_bytes > compaction.explicit_bytes);
+    assert_eq!(filter.zero_copy_bytes, 0);
+    assert_eq!(zc.explicit_bytes, 0);
+    assert!(zc.zero_copy_bytes > 0);
+    assert!(compaction.compaction_bytes > 0);
+    assert_eq!(filter.compaction_bytes, 0);
+}
