@@ -30,7 +30,11 @@ impl VertexProgram for Bfs {
     type Value = u32;
 
     fn init(&self, v: VertexId) -> u32 {
-        if v == self.source { 0 } else { UNREACHED }
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
     }
 
     fn initial_frontier(&self) -> InitialFrontier {

@@ -76,10 +76,7 @@ impl VertexProgram for PageRank {
     fn claim_from_snapshot(&self, state: F32Pair, snap: F32Pair) -> (F32Pair, F32Pair) {
         // Settle exactly the snapshot's Δ; anything accumulated since the
         // snapshot stays pending for the next iteration.
-        (
-            F32Pair { a: state.a + snap.b, b: state.b - snap.b },
-            F32Pair { a: 0.0, b: snap.b },
-        )
+        (F32Pair { a: state.a + snap.b, b: state.b - snap.b }, F32Pair { a: 0.0, b: snap.b })
     }
 
     fn message(&self, seed: F32Pair, ctx: EdgeCtx) -> Option<F32Pair> {
@@ -117,10 +114,7 @@ mod tests {
     use hyt_graph::generators;
 
     fn max_rel_err(got: &[f32], want: &[f64]) -> f64 {
-        got.iter()
-            .zip(want)
-            .map(|(&g, &w)| (g as f64 - w).abs() / w.max(1e-9))
-            .fold(0.0, f64::max)
+        got.iter().zip(want).map(|(&g, &w)| (g as f64 - w).abs() / w.max(1e-9)).fold(0.0, f64::max)
     }
 
     #[test]

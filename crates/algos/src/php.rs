@@ -58,11 +58,7 @@ impl Php {
 
     /// Extract final scores; the absorbing source reports 1.
     pub fn scores(result: &RunResult<F32Pair>) -> Vec<f32> {
-        result
-            .values
-            .iter()
-            .map(|p| if p.a == ABSORBING { 1.0 } else { p.a + p.b })
-            .collect()
+        result.values.iter().map(|p| if p.a == ABSORBING { 1.0 } else { p.a + p.b }).collect()
     }
 }
 

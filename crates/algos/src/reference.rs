@@ -175,8 +175,7 @@ mod tests {
         let g = generators::rmat(8, 8.0, 1, false);
         let r200 = pagerank(&g, 0.85, 200);
         let r300 = pagerank(&g, 0.85, 300);
-        let err: f64 =
-            r200.iter().zip(&r300).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err: f64 = r200.iter().zip(&r300).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-9, "not converged: {err}");
     }
 

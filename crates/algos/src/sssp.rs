@@ -33,7 +33,11 @@ impl VertexProgram for Sssp {
     const NEEDS_WEIGHTS: bool = true;
 
     fn init(&self, v: VertexId) -> u32 {
-        if v == self.source { 0 } else { UNREACHED }
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
     }
 
     fn initial_frontier(&self) -> InitialFrontier {

@@ -21,9 +21,7 @@ fn bench_activity_analysis(c: &mut Criterion) {
     g.throughput(Throughput::Elements(parts.len() as u64));
     for threads in [1usize, 4] {
         g.bench_function(format!("threads{threads}"), |b| {
-            b.iter(|| {
-                black_box(analyze_partitions(&graph, &parts, &frontier, &pcie, 8, threads))
-            })
+            b.iter(|| black_box(analyze_partitions(&graph, &parts, &frontier, &pcie, 8, threads)))
         });
     }
     g.finish();
@@ -52,9 +50,7 @@ fn bench_cost_and_selection(c: &mut Criterion) {
         })
     });
     g.bench_function("algorithm1_select", |b| {
-        b.iter(|| {
-            black_box(select::select_engines(&acts, &pcie, 8, Selection::Hybrid, &params))
-        })
+        b.iter(|| black_box(select::select_engines(&acts, &pcie, 8, Selection::Hybrid, &params)))
     });
     let decisions = select::select_engines(&acts, &pcie, 8, Selection::Hybrid, &params);
     g.bench_function("task_combine_k4", |b| {

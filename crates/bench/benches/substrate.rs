@@ -23,9 +23,7 @@ fn bench_partition(c: &mut Criterion) {
     let graph = generators::rmat(14, 16.0, 7, true);
     let mut g = c.benchmark_group("partition");
     g.throughput(Throughput::Elements(graph.num_edges()));
-    g.bench_function("build_32kb", |b| {
-        b.iter(|| black_box(PartitionSet::build(&graph, 32 << 10)))
-    });
+    g.bench_function("build_32kb", |b| b.iter(|| black_box(PartitionSet::build(&graph, 32 << 10))));
     g.finish();
 }
 
@@ -54,12 +52,8 @@ fn bench_frontier(c: &mut Criterion) {
     for v in (0..n).step_by(17) {
         f.insert(v);
     }
-    g.bench_function("iter_sparse", |b| {
-        b.iter(|| black_box(f.iter().count()))
-    });
-    g.bench_function("count_range", |b| {
-        b.iter(|| black_box(f.count_range(n / 4, 3 * n / 4)))
-    });
+    g.bench_function("iter_sparse", |b| b.iter(|| black_box(f.iter().count())));
+    g.bench_function("count_range", |b| b.iter(|| black_box(f.count_range(n / 4, 3 * n / 4))));
     g.finish();
 }
 

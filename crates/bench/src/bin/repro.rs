@@ -34,7 +34,7 @@ fn main() {
         for e in &experiments {
             println!("{:8}  {}", e.name, e.about);
         }
-        println!("{:8}  {}", "check", "verify the reproduced shape claims programmatically");
+        println!("{:8}  verify the reproduced shape claims programmatically", "check");
         return;
     }
     if args[0] == "check" {

@@ -70,7 +70,13 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         out.push(CheckResult::new(
             "Fig 3(e): zero-copy throughput grows with request size; 32B < half of 128B",
             t.windows(2).all(|w| w[0] < w[1]) && t[0] < 0.5 * t[3],
-            format!("32/64/96/128B = {:.1}/{:.1}/{:.1}/{:.1} GB/s", t[0] / 1e9, t[1] / 1e9, t[2] / 1e9, t[3] / 1e9),
+            format!(
+                "32/64/96/128B = {:.1}/{:.1}/{:.1}/{:.1} GB/s",
+                t[0] / 1e9,
+                t[1] / 1e9,
+                t[2] / 1e9,
+                t[3] / 1e9
+            ),
         ));
     }
 
@@ -140,7 +146,13 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
                 let t = run_algo(sys, AlgoKind::Sssp, &g, base_config()).total_time;
                 if hyt > t {
                     pass = false;
-                    evidence.push_str(&format!("{}:{} loses ({:.2} vs {:.2}ms); ", ds.name(), sys.name(), hyt * 1e3, t * 1e3));
+                    evidence.push_str(&format!(
+                        "{}:{} loses ({:.2} vs {:.2}ms); ",
+                        ds.name(),
+                        sys.name(),
+                        hyt * 1e3,
+                        t * 1e3
+                    ));
                 }
             }
         }
@@ -162,7 +174,11 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         out.push(CheckResult::new(
             "Table V: ImpTM-UM wins PR on SK (graph fits device memory once)",
             others.iter().all(|&t| um.total_time < t),
-            format!("UM {:.2}ms vs others {:?}ms", um.total_time * 1e3, others.iter().map(|t| (t * 1e4).round() / 10.0).collect::<Vec<_>>()),
+            format!(
+                "UM {:.2}ms vs others {:?}ms",
+                um.total_time * 1e3,
+                others.iter().map(|t| (t * 1e4).round() / 10.0).collect::<Vec<_>>()
+            ),
         ));
     }
 
@@ -172,9 +188,12 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         let mut evidence = String::new();
         for ds in DatasetId::ALL {
             let g = ctx.graph(ds);
-            let hyt = run_algo(SystemKind::HyTGraph, AlgoKind::Sssp, &g, base_config()).transfer_ratio();
-            let emo = run_algo(SystemKind::Emogi, AlgoKind::Sssp, &g, base_config()).transfer_ratio();
-            let ef = run_algo(SystemKind::ExpFilter, AlgoKind::Sssp, &g, base_config()).transfer_ratio();
+            let hyt =
+                run_algo(SystemKind::HyTGraph, AlgoKind::Sssp, &g, base_config()).transfer_ratio();
+            let emo =
+                run_algo(SystemKind::Emogi, AlgoKind::Sssp, &g, base_config()).transfer_ratio();
+            let ef =
+                run_algo(SystemKind::ExpFilter, AlgoKind::Sssp, &g, base_config()).transfer_ratio();
             if !(hyt < emo && hyt < ef) {
                 pass = false;
             }
@@ -228,8 +247,7 @@ mod tests {
     fn cheap_checks_pass() {
         // Only the static checks here (full run is exercised via `repro
         // check` and the integration suite).
-        let gaps: Vec<f64> =
-            GpuModel::table1_rows().iter().map(|g| g.bandwidth_gap()).collect();
+        let gaps: Vec<f64> = GpuModel::table1_rows().iter().map(|g| g.bandwidth_gap()).collect();
         assert!(gaps.iter().all(|&g| (45.0..=60.0).contains(&g)));
     }
 }

@@ -11,8 +11,7 @@ use hyt_sim::GpuModel;
 /// Regenerate Fig. 10 for PageRank and SSSP.
 pub fn run(ctx: &mut Ctx) -> Vec<Table> {
     let g = ctx.graph(DatasetId::Fs);
-    let systems =
-        [SystemKind::Subway, SystemKind::Grus, SystemKind::Emogi, SystemKind::HyTGraph];
+    let systems = [SystemKind::Subway, SystemKind::Grus, SystemKind::Emogi, SystemKind::HyTGraph];
     let mut out = Vec::new();
     for algo in [AlgoKind::PageRank, AlgoKind::Sssp] {
         let mut t = Table::new(
@@ -21,10 +20,8 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
         );
         for gpu in GpuModel::fig10_sweep() {
             let cfg = config_for_gpu(gpu);
-            let runs: Vec<f64> = systems
-                .iter()
-                .map(|&s| run_algo(s, algo, &g, cfg.clone()).total_time)
-                .collect();
+            let runs: Vec<f64> =
+                systems.iter().map(|&s| run_algo(s, algo, &g, cfg.clone()).total_time).collect();
             let subway = runs[0];
             t.row(
                 std::iter::once(gpu.name.to_string())

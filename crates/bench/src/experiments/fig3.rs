@@ -223,7 +223,10 @@ pub fn run_gh(ctx: &mut Ctx) -> Vec<Table> {
             .collect();
         let iters = runs.iter().map(|m| m.per_iteration.len()).max().unwrap_or(0);
         let mut t = Table::new(
-            format!("Fig 3({fig}): per-iteration runtime of the 4 approaches, {} on FK", algo.name()),
+            format!(
+                "Fig 3({fig}): per-iteration runtime of the 4 approaches, {} on FK",
+                algo.name()
+            ),
             &["iter", "E-F", "E-C", "I-ZC", "I-UM", "Prefer"],
         );
         for i in sample_iters(iters, 24) {

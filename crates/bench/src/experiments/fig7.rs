@@ -41,8 +41,7 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
     for (panel, algo) in [("c", AlgoKind::PageRank), ("d", AlgoKind::Sssp)] {
         let systems =
             [SystemKind::ExpFilter, SystemKind::Subway, SystemKind::Emogi, SystemKind::HyTGraph];
-        let runs: Vec<_> =
-            systems.iter().map(|&s| run_algo(s, algo, &g, base_config())).collect();
+        let runs: Vec<_> = systems.iter().map(|&s| run_algo(s, algo, &g, base_config())).collect();
         let iters = runs.iter().map(|m| m.per_iteration.len()).max().unwrap_or(0);
         let mut t = Table::new(
             format!("Fig 7({panel}): per-iteration runtime, {} on FK", algo.name()),

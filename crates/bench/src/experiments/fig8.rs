@@ -21,10 +21,8 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
         let mut cds_gain = Vec::new();
         for ds in DatasetId::ALL {
             let g = ctx.graph(ds);
-            let runs: Vec<f64> = ladder
-                .iter()
-                .map(|&s| run_algo(s, algo, &g, base_config()).total_time)
-                .collect();
+            let runs: Vec<f64> =
+                ladder.iter().map(|&s| run_algo(s, algo, &g, base_config()).total_time).collect();
             t.row(vec![
                 ds.name().to_string(),
                 times(1.0),

@@ -12,8 +12,7 @@ use hyt_graph::datasets;
 /// Regenerate Fig. 9 for PageRank and SSSP.
 pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
     let sweep = datasets::rmat_sweep();
-    let systems =
-        [SystemKind::Grus, SystemKind::Subway, SystemKind::Emogi, SystemKind::HyTGraph];
+    let systems = [SystemKind::Grus, SystemKind::Subway, SystemKind::Emogi, SystemKind::HyTGraph];
     let mut out = Vec::new();
     for algo in [AlgoKind::PageRank, AlgoKind::Sssp] {
         let mut t = Table::new(
@@ -23,13 +22,9 @@ pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
         let mut first: Option<Vec<f64>> = None;
         let mut last: Option<Vec<f64>> = None;
         for (label, g) in &sweep {
-            let runs: Vec<f64> = systems
-                .iter()
-                .map(|&s| run_algo(s, algo, g, base_config()).total_time)
-                .collect();
-            t.row(
-                std::iter::once(label.clone()).chain(runs.iter().map(|&x| secs(x))).collect(),
-            );
+            let runs: Vec<f64> =
+                systems.iter().map(|&s| run_algo(s, algo, g, base_config()).total_time).collect();
+            t.row(std::iter::once(label.clone()).chain(runs.iter().map(|&x| secs(x))).collect());
             if first.is_none() {
                 first = Some(runs.clone());
             }

@@ -30,22 +30,86 @@ pub struct Experiment {
 /// All experiments, in paper order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { name: "table1", about: "GPU memory vs PCIe bandwidth gap (P100..H100)", run: table1::run },
-        Experiment { name: "table2", about: "Subway vs EMOGI flip across algorithms/datasets", run: table2::run },
-        Experiment { name: "fig3a", about: "active edges vs active partitions under ExpTM-filter (FK)", run: fig3::run_a },
-        Experiment { name: "fig3b", about: "per-iteration runtime breakdown of ExpTM-compaction (FK)", run: fig3::run_b },
-        Experiment { name: "fig3c", about: "overall breakdown of ExpTM-compaction on 5 graphs (SSSP)", run: fig3::run_c },
-        Experiment { name: "fig3d", about: "active edges vs active pages under ImpTM-UM (FK)", run: fig3::run_d },
-        Experiment { name: "fig3e", about: "zero-copy throughput vs memory-request granularity", run: fig3::run_e },
-        Experiment { name: "fig3f", about: "out-degree distribution of the 5 graphs", run: fig3::run_f },
-        Experiment { name: "fig3gh", about: "per-iteration runtime of the 4 approaches + Prefer (FK)", run: fig3::run_gh },
-        Experiment { name: "table5", about: "overall runtime: 7 systems x 4 algorithms x 5 graphs", run: table5::run },
-        Experiment { name: "fig7", about: "HyTGraph execution path + per-iteration runtimes (FK)", run: fig7::run },
-        Experiment { name: "table6", about: "transfer volume / edge volume (PR, SSSP x 5 graphs)", run: table6::run },
-        Experiment { name: "fig8", about: "ablation: Hybrid -> +TC -> +TC+CDS speedups", run: fig8::run },
-        Experiment { name: "fig9", about: "RMAT size sweep 0.1M..6.4M edges (scaled 0.1B..6.4B)", run: fig9::run },
+        Experiment {
+            name: "table1",
+            about: "GPU memory vs PCIe bandwidth gap (P100..H100)",
+            run: table1::run,
+        },
+        Experiment {
+            name: "table2",
+            about: "Subway vs EMOGI flip across algorithms/datasets",
+            run: table2::run,
+        },
+        Experiment {
+            name: "fig3a",
+            about: "active edges vs active partitions under ExpTM-filter (FK)",
+            run: fig3::run_a,
+        },
+        Experiment {
+            name: "fig3b",
+            about: "per-iteration runtime breakdown of ExpTM-compaction (FK)",
+            run: fig3::run_b,
+        },
+        Experiment {
+            name: "fig3c",
+            about: "overall breakdown of ExpTM-compaction on 5 graphs (SSSP)",
+            run: fig3::run_c,
+        },
+        Experiment {
+            name: "fig3d",
+            about: "active edges vs active pages under ImpTM-UM (FK)",
+            run: fig3::run_d,
+        },
+        Experiment {
+            name: "fig3e",
+            about: "zero-copy throughput vs memory-request granularity",
+            run: fig3::run_e,
+        },
+        Experiment {
+            name: "fig3f",
+            about: "out-degree distribution of the 5 graphs",
+            run: fig3::run_f,
+        },
+        Experiment {
+            name: "fig3gh",
+            about: "per-iteration runtime of the 4 approaches + Prefer (FK)",
+            run: fig3::run_gh,
+        },
+        Experiment {
+            name: "table5",
+            about: "overall runtime: 7 systems x 4 algorithms x 5 graphs",
+            run: table5::run,
+        },
+        Experiment {
+            name: "fig7",
+            about: "HyTGraph execution path + per-iteration runtimes (FK)",
+            run: fig7::run,
+        },
+        Experiment {
+            name: "table6",
+            about: "transfer volume / edge volume (PR, SSSP x 5 graphs)",
+            run: table6::run,
+        },
+        Experiment {
+            name: "fig8",
+            about: "ablation: Hybrid -> +TC -> +TC+CDS speedups",
+            run: fig8::run,
+        },
+        Experiment {
+            name: "fig9",
+            about: "RMAT size sweep 0.1M..6.4M edges (scaled 0.1B..6.4B)",
+            run: fig9::run,
+        },
         Experiment { name: "fig10", about: "GPU sweep GTX1080/P100/2080Ti on FS", run: fig10::run },
-        Experiment { name: "ablation", about: "extension: alpha/beta/k/partition/hub sensitivity sweeps", run: ablation::run },
-        Experiment { name: "nvlink", about: "extension: fast-interconnect sweep (Section VIII future work)", run: nvlink::run },
+        Experiment {
+            name: "ablation",
+            about: "extension: alpha/beta/k/partition/hub sensitivity sweeps",
+            run: ablation::run,
+        },
+        Experiment {
+            name: "nvlink",
+            about: "extension: fast-interconnect sweep (Section VIII future work)",
+            run: nvlink::run,
+        },
     ]
 }

@@ -151,7 +151,11 @@ pub trait VertexProgram: Sync {
     /// would be settled without ever being scattered. Value-replacement
     /// programs keep their state and scatter the snapshot value (the
     /// default); accumulative programs subtract exactly `snap`'s Δ.
-    fn claim_from_snapshot(&self, state: Self::Value, snap: Self::Value) -> (Self::Value, Self::Value) {
+    fn claim_from_snapshot(
+        &self,
+        state: Self::Value,
+        snap: Self::Value,
+    ) -> (Self::Value, Self::Value) {
         let _ = state;
         (state, self.activate(snap).1)
     }
@@ -261,7 +265,11 @@ mod tests {
     impl VertexProgram for MinProg {
         type Value = u32;
         fn init(&self, v: VertexId) -> u32 {
-            if v == 0 { 0 } else { u32::MAX }
+            if v == 0 {
+                0
+            } else {
+                u32::MAX
+            }
         }
         fn initial_frontier(&self) -> InitialFrontier {
             InitialFrontier::Set(vec![0])
@@ -285,7 +293,8 @@ mod tests {
     #[test]
     fn u32_and_f64_round_trip() {
         assert_eq!(u32::from_bits(12345u32.to_bits()), 12345);
-        let x = 2.718281828f64;
+        // Not representable in f32: catches any lossy narrowing in to_bits.
+        let x = 2.123456789012345f64;
         assert_eq!(f64::from_bits(VertexValue::to_bits(x)), x);
     }
 

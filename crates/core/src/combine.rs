@@ -53,10 +53,7 @@ pub fn combine_tasks(
 
     let flush_run = |run: &mut Vec<usize>, out: &mut Vec<CombinedTask>| {
         if !run.is_empty() {
-            out.push(CombinedTask {
-                kind: EngineKind::ExpFilter,
-                members: std::mem::take(run),
-            });
+            out.push(CombinedTask { kind: EngineKind::ExpFilter, members: std::mem::take(run) });
         }
     };
 
@@ -118,7 +115,8 @@ mod tests {
     #[test]
     fn gaps_break_filter_runs() {
         // Partitions 0,1 filter; 2 chose ZC; 3,4 filter.
-        let d = vec![(0, ExpFilter), (1, ExpFilter), (2, ImpZeroCopy), (3, ExpFilter), (4, ExpFilter)];
+        let d =
+            vec![(0, ExpFilter), (1, ExpFilter), (2, ImpZeroCopy), (3, ExpFilter), (4, ExpFilter)];
         let tasks = combine_tasks(&d, 4, true);
         let filters: Vec<_> =
             tasks.iter().filter(|t| t.kind == ExpFilter).map(|t| t.members.clone()).collect();

@@ -63,14 +63,13 @@ pub fn partition_costs(
     let tef = ef_bytes as f64 / tlp;
 
     // (2) transfer term of compaction: active edges + index entries.
-    let ec_bytes = act.active_edges * bytes_per_edge
-        + act.active_vertices.len() as u64 * INDEX_BYTES;
+    let ec_bytes =
+        act.active_edges * bytes_per_edge + act.active_vertices.len() as u64 * INDEX_BYTES;
     let tec = ec_bytes as f64 / tlp;
 
     // (3) zero-copy requests at partition-dependent RTT_zc.
     let zc_tlps = act.zc_requests as f64 / mr as f64;
-    let rtt_zc_units =
-        (pcie.gamma + (1.0 - pcie.gamma) * act.active_ratio()) / pcie.zc_efficiency;
+    let rtt_zc_units = (pcie.gamma + (1.0 - pcie.gamma) * act.active_ratio()) / pcie.zc_efficiency;
     let tiz = zc_tlps * rtt_zc_units;
 
     PartitionCosts { tef, tec, tiz }
@@ -80,7 +79,12 @@ pub fn partition_costs(
 mod tests {
     use super::*;
 
-    fn act(active_vertices: usize, active_edges: u64, total_edges: u64, reqs: u64) -> PartitionActivity {
+    fn act(
+        active_vertices: usize,
+        active_edges: u64,
+        total_edges: u64,
+        reqs: u64,
+    ) -> PartitionActivity {
         PartitionActivity {
             partition: 0,
             active_vertices: (0..active_vertices as u32).collect(),
@@ -136,6 +140,51 @@ mod tests {
         assert_eq!(c.tec, 0.0);
         assert_eq!(c.tiz, 0.0);
         assert!(c.tef > 0.0); // filter would still ship the whole thing
+    }
+
+    // Section V-A regime checks: on hand-computed partitions each engine's
+    // formula must win exactly where the paper says it wins.
+
+    #[test]
+    fn sparse_low_degree_orders_compaction_first() {
+        // 50 active vertices of degree 4 inside a 50k-edge partition: the
+        // active payload is tiny, so shipping exactly it (plus d2 indexes)
+        // beats both the bulk copy and the per-request-padded reads.
+        let a = act(50, 200, 50_000, 50);
+        let c = partition_costs(&a, &bus(), 4);
+        // Hand-computed, m·MR = 32768 B per TLP:
+        assert!((c.tef - 200_000.0 / 32_768.0).abs() < 1e-12);
+        assert!((c.tec - (200.0 * 4.0 + 50.0 * 8.0) / 32_768.0).abs() < 1e-12);
+        let want_tiz = (50.0 / 256.0) * (0.625 + 0.375 * (200.0 / 50_000.0)) / 0.95;
+        assert!((c.tiz - want_tiz).abs() < 1e-12);
+        assert!(c.tec < c.tiz && c.tiz < c.tef, "want Tec < Tiz < Tef, got {c:?}");
+    }
+
+    #[test]
+    fn fully_active_orders_filter_first() {
+        // Everything active at degree 4: compaction pays d2 per vertex for
+        // nothing, zero-copy pays one padded request per vertex.
+        let a = act(8_192, 32_768, 32_768, 8_192);
+        let c = partition_costs(&a, &bus(), 4);
+        assert!((c.tef - 4.0).abs() < 1e-12); // 131072 B / 32768
+        assert!((c.tec - 6.0).abs() < 1e-12); // (131072 + 65536) B / 32768
+        let want_tiz = 32.0 / 0.95; // 8192/256 TLPs at full RTT_zc
+        assert!((c.tiz - want_tiz).abs() < 1e-12);
+        assert!(c.tef < c.tec && c.tec < c.tiz, "want Tef < Tec < Tiz, got {c:?}");
+    }
+
+    #[test]
+    fn sparse_high_degree_hubs_order_zero_copy_first() {
+        // 4 hub vertices of degree 1024 in a million-edge partition: long
+        // saturated runs make zero-copy's requests efficient, and it skips
+        // compaction's index bytes (and, off-formula, its CPU gather).
+        let a = act(4, 4_096, 1_000_000, 128);
+        let c = partition_costs(&a, &bus(), 4);
+        assert!((c.tef - 4_000_000.0 / 32_768.0).abs() < 1e-12);
+        assert!((c.tec - (4_096.0 * 4.0 + 4.0 * 8.0) / 32_768.0).abs() < 1e-12);
+        let want_tiz = 0.5 * (0.625 + 0.375 * (4_096.0 / 1_000_000.0)) / 0.95;
+        assert!((c.tiz - want_tiz).abs() < 1e-12);
+        assert!(c.tiz < c.tec && c.tec < c.tef, "want Tiz < Tec < Tef, got {c:?}");
     }
 
     #[test]

@@ -71,7 +71,16 @@ pub fn run_kernel<P: VertexProgram>(
                 s.spawn(move |_| {
                     let mut stats = KernelStats::default();
                     for i in lo..hi {
-                        scatter_one(program, source, active, i, values, next, seed_override, &mut stats);
+                        scatter_one(
+                            program,
+                            source,
+                            active,
+                            i,
+                            values,
+                            next,
+                            seed_override,
+                            &mut stats,
+                        );
                     }
                     stats
                 })
@@ -195,7 +204,11 @@ mod tests {
     impl VertexProgram for Mini {
         type Value = u32;
         fn init(&self, v: VertexId) -> u32 {
-            if v == 0 { 0 } else { u32::MAX }
+            if v == 0 {
+                0
+            } else {
+                u32::MAX
+            }
         }
         fn initial_frontier(&self) -> InitialFrontier {
             InitialFrontier::Set(vec![0])

@@ -50,7 +50,9 @@ pub mod select;
 pub mod stats;
 pub mod systems;
 
-pub use api::{EdgeCtx, F32Pair, InitialFrontier, PriorityMode, Values, VertexProgram, VertexValue};
+pub use api::{
+    EdgeCtx, F32Pair, InitialFrontier, PriorityMode, Values, VertexProgram, VertexValue,
+};
 pub use config::{AsyncMode, HyTGraphConfig};
 pub use cost::{partition_costs, PartitionCosts};
 pub use hyt_engines::EngineKind;

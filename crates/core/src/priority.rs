@@ -186,10 +186,8 @@ mod tests {
     fn disabled_keeps_input_order() {
         let acts = acts3();
         let values = Values::init(&HubProg, 3);
-        let mut tasks = vec![
-            task(EngineKind::ImpZeroCopy, vec![2]),
-            task(EngineKind::ExpFilter, vec![0]),
-        ];
+        let mut tasks =
+            vec![task(EngineKind::ImpZeroCopy, vec![2]), task(EngineKind::ExpFilter, vec![0])];
         let before = tasks.clone();
         order_tasks(&mut tasks, &acts, &HubProg, &values, false);
         assert_eq!(tasks, before);

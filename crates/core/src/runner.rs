@@ -136,12 +136,9 @@ impl HyTGraphSystem {
         let bpe = self.effective_bytes_per_edge::<P>();
         // Device memory left for edge data once vertex state is resident,
         // derated by the UM driver-headroom utilisation.
-        let edge_budget = (self
-            .config
-            .machine
-            .edge_budget
-            .saturating_sub(nv as u64 * VERTEX_STATE_BYTES) as f64
-            * self.config.machine.um_utilization) as u64;
+        let edge_budget =
+            (self.config.machine.edge_budget.saturating_sub(nv as u64 * VERTEX_STATE_BYTES) as f64
+                * self.config.machine.um_utilization) as u64;
         let mut um_state = UnifiedState::with_budget(&self.config.machine, edge_budget);
         let mut grus = GrusState {
             resident: vec![false; self.parts.len()],
@@ -150,8 +147,7 @@ impl HyTGraphSystem {
         };
         let mut per_iteration = Vec::new();
         let mut total_counters = TransferCounters::new();
-        let mut total_time = self.config.startup_edge_passes
-            * (self.num_edges() * bpe) as f64
+        let mut total_time = self.config.startup_edge_passes * (self.num_edges() * bpe) as f64
             / self.config.machine.compaction_bw;
         let mut iter = 0u32;
 
@@ -222,14 +218,8 @@ impl HyTGraphSystem {
         };
 
         // --- Stage 1: cost-aware task generation. ---
-        let acts = analyze_partitions(
-            &self.graph,
-            &self.parts,
-            frontier,
-            &machine.pcie,
-            bpe,
-            cfg.threads,
-        );
+        let acts =
+            analyze_partitions(&self.graph, &self.parts, frontier, &machine.pcie, bpe, cfg.threads);
         let decisions = match cfg.selection {
             Selection::GrusLike => grus_select(&acts, &self.parts, grus, bpe),
             sel => select_engines(&acts, &machine.pcie, bpe, sel, &cfg.select_params),
@@ -248,9 +238,7 @@ impl HyTGraphSystem {
         for task in &tasks {
             let refs: Vec<&PartitionActivity> = task.members.iter().map(|&i| &acts[i]).collect();
             let mut plan = match task.kind {
-                EngineKind::ExpFilter => {
-                    filter::plan_filter(machine, &self.graph, &refs, bpe)
-                }
+                EngineKind::ExpFilter => filter::plan_filter(machine, &self.graph, &refs, bpe),
                 EngineKind::ExpCompaction => {
                     compaction::plan_compaction(machine, &self.graph, &refs, bpe, cfg.threads)
                 }
@@ -348,12 +336,9 @@ impl HyTGraphSystem {
         plan: &TaskPlan,
     ) -> Vec<VertexId> {
         match task.kind {
-            EngineKind::ExpCompaction => plan
-                .active_vertices
-                .iter()
-                .copied()
-                .filter(|&v| next.contains(v))
-                .collect(),
+            EngineKind::ExpCompaction => {
+                plan.active_vertices.iter().copied().filter(|&v| next.contains(v)).collect()
+            }
             _ => {
                 let mut out = Vec::new();
                 for &pid in &plan.partitions {
@@ -529,7 +514,11 @@ mod tests {
         type Value = u32;
         const NEEDS_WEIGHTS: bool = true;
         fn init(&self, v: VertexId) -> u32 {
-            if v == 0 { 0 } else { u32::MAX }
+            if v == 0 {
+                0
+            } else {
+                u32::MAX
+            }
         }
         fn initial_frontier(&self) -> InitialFrontier {
             InitialFrontier::Set(vec![0])
@@ -598,10 +587,7 @@ mod tests {
     fn startup_passes_charge_once() {
         let g = generators::rmat(9, 6.0, 4, true);
         let time_with = |passes: f64| {
-            let cfg = HyTGraphConfig {
-                startup_edge_passes: passes,
-                ..HyTGraphConfig::default()
-            };
+            let cfg = HyTGraphConfig { startup_edge_passes: passes, ..HyTGraphConfig::default() };
             let mut sys = HyTGraphSystem::new(g.clone(), cfg);
             sys.run(MiniSssp).total_time
         };
@@ -633,8 +619,7 @@ mod tests {
         let mut sys = HyTGraphSystem::new(g, cfg);
         let r = sys.run(crate::systems::tests_support::AllActiveMin);
         let first = r.per_iteration.first().unwrap().counters.um_bytes;
-        let later: u64 =
-            r.per_iteration.iter().skip(1).map(|it| it.counters.um_bytes).sum();
+        let later: u64 = r.per_iteration.iter().skip(1).map(|it| it.counters.um_bytes).sum();
         assert!(first > 0);
         assert!(later <= first, "later iterations re-migrated: {later} vs first {first}");
     }

@@ -154,8 +154,7 @@ mod tests {
             },
         ];
         let pcie = PcieModel::pcie3();
-        let sel =
-            select_engines(&acts, &pcie, 4, Selection::FilterOnly, &SelectParams::default());
+        let sel = select_engines(&acts, &pcie, 4, Selection::FilterOnly, &SelectParams::default());
         assert_eq!(sel, vec![(0, EngineKind::ExpFilter)]); // inactive skipped
         let sel =
             select_engines(&acts, &pcie, 4, Selection::ZeroCopyOnly, &SelectParams::default());
@@ -181,13 +180,8 @@ mod tests {
             zc_requests: 3,
         };
         let pcie = PcieModel::pcie3();
-        let sel = select_engines(
-            &[dense, sparse],
-            &pcie,
-            4,
-            Selection::Hybrid,
-            &SelectParams::default(),
-        );
+        let sel =
+            select_engines(&[dense, sparse], &pcie, 4, Selection::Hybrid, &SelectParams::default());
         assert_eq!(sel[0].1, EngineKind::ExpFilter);
         assert_eq!(sel[1].1, EngineKind::ImpZeroCopy);
     }

@@ -79,7 +79,7 @@ impl SystemKind {
             "grus" => Some(SystemKind::Grus),
             "imptm-um" | "um" | "unified" => Some(SystemKind::ImpUnified),
             "galois" | "cpu" => Some(SystemKind::CpuGalois),
-        _ => None,
+            _ => None,
         }
     }
 

@@ -75,7 +75,9 @@ pub fn analyze_partitions(
                 let hi = (lo + chunk).min(n);
                 s.spawn(move |_| {
                     (lo..hi)
-                        .map(|i| analyze_one(graph, parts, frontier, pcie, bytes_per_edge, i as u32))
+                        .map(|i| {
+                            analyze_one(graph, parts, frontier, pcie, bytes_per_edge, i as u32)
+                        })
                         .collect::<Vec<_>>()
                 })
             })

@@ -114,11 +114,7 @@ pub fn compact(graph: &Csr, active: &[VertexId], threads: usize) -> CompactedSub
 
 /// Split `data` into per-chunk mutable slices aligned to the vertex-chunk
 /// boundaries given by `offsets` (chunk size in vertices).
-fn split_at_offsets<'a, T>(
-    data: &'a mut [T],
-    offsets: &[u64],
-    chunk: usize,
-) -> Vec<&'a mut [T]> {
+fn split_at_offsets<'a, T>(data: &'a mut [T], offsets: &[u64], chunk: usize) -> Vec<&'a mut [T]> {
     let n = offsets.len() - 1;
     let mut out = Vec::new();
     let mut rest = data;
@@ -240,8 +236,14 @@ mod tests {
             f.insert(v);
         }
         let machine = MachineModel::paper_platform();
-        let acts =
-            crate::activity::analyze_partitions(&g, &ps, &f, &PcieModel::pcie3(), g.bytes_per_edge(), 4);
+        let acts = crate::activity::analyze_partitions(
+            &g,
+            &ps,
+            &f,
+            &PcieModel::pcie3(),
+            g.bytes_per_edge(),
+            4,
+        );
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
         let plan = plan_compaction(&machine, &g, &refs, g.bytes_per_edge(), 4);
         assert_eq!(plan.kind, EngineKind::ExpCompaction);

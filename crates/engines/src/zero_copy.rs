@@ -71,9 +71,7 @@ mod tests {
     use crate::activity::analyze_partitions;
     use hyt_graph::{generators, Frontier, PartitionSet};
 
-    fn setup(
-        active_step: usize,
-    ) -> (hyt_graph::Csr, PartitionSet, Frontier, MachineModel) {
+    fn setup(active_step: usize) -> (hyt_graph::Csr, PartitionSet, Frontier, MachineModel) {
         let g = generators::rmat(9, 8.0, 3, true);
         let ps = PartitionSet::build_count(&g, 8);
         let f = Frontier::new(g.num_vertices());

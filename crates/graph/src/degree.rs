@@ -80,21 +80,13 @@ impl DegreeStats {
 
     /// Fraction of vertices with out-degree below `bound`.
     pub fn fraction_below(&self, bound: u64) -> f64 {
-        let n: u64 = self
-            .buckets
-            .iter()
-            .filter(|b| b.hi <= bound)
-            .map(|b| b.count)
-            .sum();
+        let n: u64 = self.buckets.iter().filter(|b| b.hi <= bound).map(|b| b.count).sum();
         n as f64 / self.num_vertices.max(1) as f64
     }
 
     /// Bucket fractions in order (sums to 1 for non-empty graphs).
     pub fn fractions(&self) -> Vec<f64> {
-        self.buckets
-            .iter()
-            .map(|b| b.count as f64 / self.num_vertices.max(1) as f64)
-            .collect()
+        self.buckets.iter().map(|b| b.count as f64 / self.num_vertices.max(1) as f64).collect()
     }
 }
 

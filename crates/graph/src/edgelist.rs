@@ -53,7 +53,11 @@ impl EdgeList {
 
     /// Weight of edge `i` (1 when unweighted).
     pub fn weight(&self, i: usize) -> Weight {
-        if self.weighted { self.weights[i] } else { 1 }
+        if self.weighted {
+            self.weights[i]
+        } else {
+            1
+        }
     }
 
     /// Add an unweighted edge. Panics in debug builds on out-of-range ids.

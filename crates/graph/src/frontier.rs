@@ -123,7 +123,11 @@ impl Frontier {
     }
 
     /// Iterate active vertices within `[first, end)` in ascending order.
-    pub fn iter_range(&self, first: VertexId, end: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+    pub fn iter_range(
+        &self,
+        first: VertexId,
+        end: VertexId,
+    ) -> impl Iterator<Item = VertexId> + '_ {
         self.iter().skip_while(move |&v| v < first).take_while(move |&v| v < end)
     }
 

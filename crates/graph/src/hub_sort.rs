@@ -137,14 +137,10 @@ mod tests {
         assert!(r.num_hubs > 0);
         let out = g.out_degrees();
         let inn = g.in_degrees();
-        let score =
-            |v: VertexId| out[v as usize] as u128 * inn[v as usize] as u128;
-        let min_hub_score =
-            (0..r.num_hubs).map(|n| score(r.to_old(n))).min().unwrap();
-        let max_rest_score = (r.num_hubs..g.num_vertices())
-            .map(|n| score(r.to_old(n)))
-            .max()
-            .unwrap();
+        let score = |v: VertexId| out[v as usize] as u128 * inn[v as usize] as u128;
+        let min_hub_score = (0..r.num_hubs).map(|n| score(r.to_old(n))).min().unwrap();
+        let max_rest_score =
+            (r.num_hubs..g.num_vertices()).map(|n| score(r.to_old(n))).max().unwrap();
         assert!(min_hub_score >= max_rest_score);
     }
 

@@ -37,7 +37,7 @@ pub use degree::{DegreeBucket, DegreeStats};
 pub use edgelist::EdgeList;
 pub use frontier::Frontier;
 pub use generators::GraphBuilder;
-pub use hub_sort::{HubSortResult, hub_sort};
+pub use hub_sort::{hub_sort, HubSortResult};
 pub use partition::{Partition, PartitionSet};
 
 /// Vertex identifier. The paper assumes 4-byte vertex ids (`d1 = 4`), and so

@@ -80,11 +80,8 @@ impl PartitionSet {
             let span = end_edge - first_edge;
             // Close the partition when adding v+1 would blow the budget
             // and the partition is non-trivial.
-            let next_span = if v + 1 < nv {
-                graph.row_offset()[v as usize + 2] - first_edge
-            } else {
-                span
-            };
+            let next_span =
+                if v + 1 < nv { graph.row_offset()[v as usize + 2] - first_edge } else { span };
             let last = v + 1 == nv;
             if last || (next_span > edges_per_part && span > 0) || span >= edges_per_part {
                 let id = partitions.len() as u32;

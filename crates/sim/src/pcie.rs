@@ -154,8 +154,7 @@ impl PcieModel {
         // A TLP still takes a full-γ fixed cost but moves only
         // MR·granularity payload bytes.
         let payload_ratio = granularity as f64 / self.request_bytes as f64;
-        let tlp_time = (self.gamma * self.rtt()
-            + (1.0 - self.gamma) * payload_ratio * self.rtt())
+        let tlp_time = (self.gamma * self.rtt() + (1.0 - self.gamma) * payload_ratio * self.rtt())
             / self.zc_efficiency;
         (self.max_requests * granularity) as f64 / tlp_time
     }

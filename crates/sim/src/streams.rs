@@ -217,8 +217,7 @@ mod tests {
         let sim = StreamSim::new(2);
         // Two identical tasks: transfer 2 + kernel 2. With pipelining the
         // second transfer overlaps the first kernel: makespan 6 not 8.
-        let tasks =
-            vec![SimTask::explicit("a", 2.0, 2.0), SimTask::explicit("b", 2.0, 2.0)];
+        let tasks = vec![SimTask::explicit("a", 2.0, 2.0), SimTask::explicit("b", 2.0, 2.0)];
         let tl = sim.schedule(&tasks);
         assert!((tl.makespan - 6.0).abs() < 1e-9, "makespan {}", tl.makespan);
     }
@@ -226,8 +225,7 @@ mod tests {
     #[test]
     fn one_stream_fully_serialises() {
         let sim = StreamSim::new(1);
-        let tasks =
-            vec![SimTask::explicit("a", 2.0, 2.0), SimTask::explicit("b", 2.0, 2.0)];
+        let tasks = vec![SimTask::explicit("a", 2.0, 2.0), SimTask::explicit("b", 2.0, 2.0)];
         let tl = sim.schedule(&tasks);
         assert!((tl.makespan - 8.0).abs() < 1e-9);
     }
@@ -237,10 +235,8 @@ mod tests {
         let sim = StreamSim::new(2);
         // Task a: pure compaction+transfer; task b: pure zero-copy fused.
         // CPU work of a overlaps fused execution of b entirely.
-        let tasks = vec![
-            SimTask::zero_copy("zc", 4.0, 3.0),
-            SimTask::compaction("cp", 4.0, 1.0, 1.0),
-        ];
+        let tasks =
+            vec![SimTask::zero_copy("zc", 4.0, 3.0), SimTask::compaction("cp", 4.0, 1.0, 1.0)];
         let tl = sim.schedule(&tasks);
         // zc holds bus+gpu 0..4; cp's CPU 0..4 overlaps, then transfer 4..5,
         // kernel 5..6.
@@ -250,10 +246,7 @@ mod tests {
     #[test]
     fn fused_occupies_both_resources() {
         let sim = StreamSim::new(4);
-        let tasks = vec![
-            SimTask::zero_copy("zc", 5.0, 1.0),
-            SimTask::explicit("ex", 1.0, 1.0),
-        ];
+        let tasks = vec![SimTask::zero_copy("zc", 5.0, 1.0), SimTask::explicit("ex", 1.0, 1.0)];
         let tl = sim.schedule(&tasks);
         // ex's transfer cannot start until zc releases the bus at t=5.
         assert!((tl.makespan - 7.0).abs() < 1e-9, "makespan {}", tl.makespan);
@@ -262,9 +255,8 @@ mod tests {
     #[test]
     fn makespan_bounded_by_resource_busy_time() {
         let sim = StreamSim::new(3);
-        let tasks: Vec<_> = (0..10)
-            .map(|i| SimTask::compaction(format!("t{i}"), 0.5, 1.0, 0.7))
-            .collect();
+        let tasks: Vec<_> =
+            (0..10).map(|i| SimTask::compaction(format!("t{i}"), 0.5, 1.0, 0.7)).collect();
         let tl = sim.schedule(&tasks);
         assert!(tl.makespan >= tl.pcie_busy - 1e-9);
         assert!(tl.makespan >= tl.gpu_busy - 1e-9);
@@ -274,9 +266,7 @@ mod tests {
 
     #[test]
     fn more_streams_never_slower() {
-        let tasks: Vec<_> = (0..8)
-            .map(|i| SimTask::explicit(format!("t{i}"), 1.0, 1.5))
-            .collect();
+        let tasks: Vec<_> = (0..8).map(|i| SimTask::explicit(format!("t{i}"), 1.0, 1.5)).collect();
         let t1 = StreamSim::new(1).schedule(&tasks).makespan;
         let t2 = StreamSim::new(2).schedule(&tasks).makespan;
         let t4 = StreamSim::new(4).schedule(&tasks).makespan;
@@ -295,10 +285,8 @@ mod tests {
     #[test]
     fn spans_follow_input_order_and_are_well_formed() {
         let sim = StreamSim::new(2);
-        let tasks = vec![
-            SimTask::explicit("first", 1.0, 1.0),
-            SimTask::zero_copy("second", 2.0, 1.0),
-        ];
+        let tasks =
+            vec![SimTask::explicit("first", 1.0, 1.0), SimTask::zero_copy("second", 2.0, 1.0)];
         let tl = sim.schedule(&tasks);
         assert_eq!(tl.spans[0].0, "first");
         assert_eq!(tl.spans[1].0, "second");

@@ -203,10 +203,10 @@ mod tests {
     fn capacity_forces_lru_eviction() {
         // Capacity: 2 pages.
         let mut c = UmCache::new(model(), 8192);
-        c.touch_range(0, 1);        // page 0
-        c.touch_range(4096, 1);     // page 1
-        c.touch_range(0, 1);        // refresh page 0
-        c.touch_range(8192, 1);     // page 2 -> evicts page 1 (LRU)
+        c.touch_range(0, 1); // page 0
+        c.touch_range(4096, 1); // page 1
+        c.touch_range(0, 1); // refresh page 0
+        c.touch_range(8192, 1); // page 2 -> evicts page 1 (LRU)
         assert_eq!(c.resident_pages(), 2);
         assert_eq!(c.touch_range(0, 1), 0); // page 0 still resident
         assert_eq!(c.touch_range(4096, 1), 1); // page 1 was evicted

@@ -51,8 +51,7 @@ fn main() {
     let ranks = PageRank::ranks(&pr);
     summarize("PageRank", &pr.per_iteration);
 
-    let mut top: Vec<(u32, f32)> =
-        ranks.iter().enumerate().map(|(v, &r)| (v as u32, r)).collect();
+    let mut top: Vec<(u32, f32)> = ranks.iter().enumerate().map(|(v, &r)| (v as u32, r)).collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("  top influencers (vertex, rank):");
     for (v, r) in top.iter().take(5) {

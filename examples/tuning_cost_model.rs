@@ -23,11 +23,7 @@ fn run_sssp(graph: &hytgraph::graph::Csr, cfg: HyTGraphConfig) -> (f64, f64) {
 fn main() {
     let ds = datasets::load(DatasetId::Tw);
     let graph = &ds.graph;
-    println!(
-        "twitter proxy: {} vertices, {} edges\n",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("twitter proxy: {} vertices, {} edges\n", graph.num_vertices(), graph.num_edges());
     let base = || SystemKind::HyTGraph.configure(HyTGraphConfig::default());
 
     println!("alpha sweep (compaction-vs-filter threshold; paper: 0.8)");

@@ -38,7 +38,10 @@ fn main() {
         SystemKind::HyTGraph,
     ];
 
-    println!("{:<10} {:>12} {:>8} {:>14} {:>12}", "system", "BFS time", "iters", "SSSP time", "transfer");
+    println!(
+        "{:<10} {:>12} {:>8} {:>14} {:>12}",
+        "system", "BFS time", "iters", "SSSP time", "transfer"
+    );
     let mut bfs_oracle: Option<Vec<u32>> = None;
     for kind in systems {
         let cfg = kind.configure(HyTGraphConfig::default());

@@ -98,7 +98,8 @@ fn hybrid_total_time_at_most_best_single_engine_with_slack() {
     let ds = datasets::load(DatasetId::Tw);
     let src = (0..ds.graph.num_vertices()).max_by_key(|&v| ds.graph.out_degree(v)).unwrap();
     let time_of = |kind: SystemKind| {
-        let mut sys = HyTGraphSystem::new(ds.graph.clone(), kind.configure(HyTGraphConfig::default()));
+        let mut sys =
+            HyTGraphSystem::new(ds.graph.clone(), kind.configure(HyTGraphConfig::default()));
         sys.run(Sssp::from_source(src)).total_time
     };
     let hyt = time_of(SystemKind::HyTGraph);
@@ -116,7 +117,9 @@ fn hybrid_total_time_at_most_best_single_engine_with_slack() {
 fn sync_and_async_agree_on_final_values() {
     let g = generators::rmat(11, 8.0, 17, true);
     let oracle = reference::dijkstra(&g, 0);
-    for mode in [AsyncMode::Sync, AsyncMode::Async { recompute: 0 }, AsyncMode::Async { recompute: 3 }] {
+    for mode in
+        [AsyncMode::Sync, AsyncMode::Async { recompute: 0 }, AsyncMode::Async { recompute: 3 }]
+    {
         let cfg = HyTGraphConfig { async_mode: mode, ..HyTGraphConfig::default() };
         let mut sys = HyTGraphSystem::new(g.clone(), cfg);
         let r = sys.run(Sssp::from_source(0));

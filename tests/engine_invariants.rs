@@ -3,9 +3,7 @@
 //! TLP formulas, on random graphs and random frontiers.
 
 use hytgraph::core::{cost, partition_costs};
-use hytgraph::engines::{
-    analyze_partitions, compaction, filter, zero_copy, UnifiedState,
-};
+use hytgraph::engines::{analyze_partitions, compaction, filter, zero_copy, UnifiedState};
 use hytgraph::graph::{generators, Csr, EdgeList, Frontier, PartitionSet};
 use hytgraph::sim::{MachineModel, UmCache, UmModel};
 use proptest::prelude::*;

@@ -1,0 +1,157 @@
+//! Offline drop-in for the slice of `criterion` this workspace's benches
+//! use: `Criterion`, `benchmark_group`, `bench_function`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple — mean over `sample_size` timed
+//! iterations after one warm-up — because the benches exist to observe
+//! relative movement between revisions, not to be a rigorous harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units a group's throughput is reported in.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Items processed per bench iteration.
+    Elements(u64),
+    /// Bytes processed per bench iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _c: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one(&name.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (report-flush hook in real criterion; a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the bench closure; call [`Bencher::iter`] with the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the sample's iterations, timing the total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    // Warm-up, then one timed pass per sample.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        best = best.min(b.elapsed);
+    }
+    let mean = total / samples as u32;
+    let rate = tp.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>10.1} elem/s", n as f64 / mean.as_secs_f64()),
+        Throughput::Bytes(n) => {
+            format!("  {:>10.2} MiB/s", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+        }
+    });
+    println!("bench {name:<40} mean {:>12?}  min {:>12?}{}", mean, best, rate.unwrap_or_default());
+}
+
+/// Build a group-runner function from a config expression and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),*);
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}

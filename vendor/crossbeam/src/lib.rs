@@ -1,0 +1,83 @@
+//! Offline drop-in for `crossbeam::scope`, backed by `std::thread::scope`
+//! (stable since Rust 1.63, which removed the original need for crossbeam's
+//! scoped threads).
+//!
+//! API shape matched: the scope closure receives `&Scope`, spawned closures
+//! receive `&Scope` again (so they can spawn nested work), `spawn` returns a
+//! joinable handle, and `scope` returns `Result` like crossbeam does.
+
+use std::any::Any;
+
+/// Error type carried by a failed scope (a payload from a panicked,
+/// un-joined child thread). With the std backing, child panics propagate by
+/// panicking the scope itself, so `scope` in practice always returns `Ok`.
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A scope handle; lets workers spawn further scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread and return its result (`Err` if it panicked).
+    pub fn join(self) -> Result<T, ScopeError> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives the scope again, mirroring
+    /// crossbeam's signature (call sites typically write `|_| ...`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle { inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })) }
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrows_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

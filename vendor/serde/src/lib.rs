@@ -1,0 +1,223 @@
+//! Offline drop-in for the slice of `serde` this workspace uses: a
+//! `Serialize` trait (JSON-writer based rather than serde's generic
+//! `Serializer`, since JSON is the only format the workspace emits) and the
+//! `#[derive(Serialize)]` macro re-export.
+
+pub use serde_derive::Serialize;
+
+/// JSON serialisation machinery consumed by derived impls and `serde_json`.
+pub mod json {
+    /// Streaming JSON writer with optional pretty-printing.
+    pub struct Writer {
+        out: String,
+        pretty: bool,
+        indent: usize,
+        /// Whether a value has already been emitted at each open nesting
+        /// level (controls comma placement).
+        has_item: Vec<bool>,
+    }
+
+    impl Writer {
+        /// New writer; `pretty` adds newlines and two-space indentation.
+        pub fn new(pretty: bool) -> Writer {
+            Writer { out: String::new(), pretty, indent: 0, has_item: Vec::new() }
+        }
+
+        /// Finish and return the JSON text.
+        pub fn finish(self) -> String {
+            self.out
+        }
+
+        fn newline_indent(&mut self) {
+            if self.pretty {
+                self.out.push('\n');
+                for _ in 0..self.indent {
+                    self.out.push_str("  ");
+                }
+            }
+        }
+
+        /// Comma/indent bookkeeping before a value in an array or a key in
+        /// an object.
+        fn pre_item(&mut self) {
+            if let Some(has) = self.has_item.last_mut() {
+                if *has {
+                    self.out.push(',');
+                }
+                *has = true;
+                self.newline_indent();
+            }
+        }
+
+        /// Open `{`.
+        pub fn begin_object(&mut self) {
+            self.out.push('{');
+            self.indent += 1;
+            self.has_item.push(false);
+        }
+
+        /// Close `}`.
+        pub fn end_object(&mut self) {
+            let had = self.has_item.pop().unwrap_or(false);
+            self.indent -= 1;
+            if had {
+                self.newline_indent();
+            }
+            self.out.push('}');
+        }
+
+        /// Open `[`.
+        pub fn begin_array(&mut self) {
+            self.out.push('[');
+            self.indent += 1;
+            self.has_item.push(false);
+        }
+
+        /// Close `]`.
+        pub fn end_array(&mut self) {
+            let had = self.has_item.pop().unwrap_or(false);
+            self.indent -= 1;
+            if had {
+                self.newline_indent();
+            }
+            self.out.push(']');
+        }
+
+        /// Emit one `"key": value` pair inside an object.
+        pub fn field<T: crate::Serialize + ?Sized>(&mut self, key: &str, value: &T) {
+            self.pre_item();
+            self.write_escaped(key);
+            self.out.push(':');
+            if self.pretty {
+                self.out.push(' ');
+            }
+            value.serialize_json_element(self);
+        }
+
+        /// Emit one element inside an array.
+        pub fn element<T: crate::Serialize + ?Sized>(&mut self, value: &T) {
+            self.pre_item();
+            value.serialize_json_element(self);
+        }
+
+        /// Emit a JSON string value.
+        pub fn string(&mut self, s: &str) {
+            self.write_escaped(s);
+        }
+
+        /// Emit a raw (pre-rendered) JSON token, e.g. a number literal.
+        pub fn raw(&mut self, token: &str) {
+            self.out.push_str(token);
+        }
+
+        fn write_escaped(&mut self, s: &str) {
+            self.out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    '\r' => self.out.push_str("\\r"),
+                    '\t' => self.out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        self.out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+    }
+}
+
+/// Types that can write themselves as JSON. Derivable for named-field
+/// structs and unit enums via `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Write `self` as a JSON value.
+    fn serialize_json(&self, w: &mut json::Writer);
+
+    /// Hook used by container impls; identical to [`Serialize::serialize_json`]
+    /// unless a type needs position-sensitive output.
+    #[doc(hidden)]
+    fn serialize_json_element(&self, w: &mut json::Writer) {
+        self.serialize_json(w);
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, w: &mut json::Writer) {
+                w.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        if self.is_finite() {
+            w.raw(&format!("{self}"));
+        } else {
+            // JSON has no Inf/NaN; serde_json emits null.
+            w.raw("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        (*self as f64).serialize_json(w);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.string(self);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        match self {
+            Some(v) => v.serialize_json(w),
+            None => w.raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.begin_array();
+        for v in self {
+            w.element(v);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        self.as_slice().serialize_json(w);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        (**self).serialize_json(w);
+    }
+}

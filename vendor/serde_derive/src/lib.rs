@@ -1,0 +1,131 @@
+//! Offline shim for serde's `#[derive(Serialize)]`, written against the
+//! bare `proc_macro` API (no `syn`/`quote` available offline).
+//!
+//! Supports what the workspace uses: non-generic structs with named fields
+//! and enums with unit variants. Field/variant attributes are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the workspace's `serde::Serialize` (JSON writer) trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+    };
+    i += 1;
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize) shim does not support generics (type {name})")
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): no braced body on type {name}"),
+        }
+    };
+
+    let generated = match kind.as_str() {
+        "struct" => derive_struct(&name, &body),
+        "enum" => derive_enum(&name, &body),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+    generated.parse().expect("derive(Serialize): generated code parses")
+}
+
+/// Collect the top-level comma-separated entries of a brace group, returning
+/// the leading identifier of each entry after attributes and visibility
+/// (i.e. field names for structs, variant names for enums). Entries whose
+/// leading identifier is followed by anything other than `:`/`,`/end (for
+/// structs) cause a panic, keeping silent misparses impossible.
+fn leading_idents(body: &proc_macro::Group, expect_colon: bool) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut at_entry_start = true;
+    let mut depth = 0usize;
+    let mut toks = body.stream().into_iter().peekable();
+    while let Some(t) = toks.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '#' && at_entry_start => {
+                // Attribute: swallow the following bracket group.
+                let _ = toks.next();
+            }
+            TokenTree::Ident(id) if at_entry_start => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = toks.next();
+                        }
+                    }
+                    continue;
+                }
+                names.push(s);
+                at_entry_start = false;
+                if expect_colon {
+                    match toks.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                        other => panic!(
+                            "derive(Serialize): expected `:` after field `{}`, got {other:?}",
+                            names.last().unwrap()
+                        ),
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => at_entry_start = true,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    names
+}
+
+fn derive_struct(name: &str, body: &proc_macro::Group) -> String {
+    let fields = leading_idents(body, true);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize_json(&self, w: &mut ::serde::json::Writer) {{\n        w.begin_object();\n"
+    ));
+    for f in &fields {
+        out.push_str(&format!("        w.field({f:?}, &self.{f});\n"));
+    }
+    out.push_str("        w.end_object();\n    }\n}\n");
+    out
+}
+
+fn derive_enum(name: &str, body: &proc_macro::Group) -> String {
+    let variants = leading_idents(body, false);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize_json(&self, w: &mut ::serde::json::Writer) {{\n        match self {{\n"
+    ));
+    for v in &variants {
+        out.push_str(&format!("            {name}::{v} => w.string({v:?}),\n"));
+    }
+    out.push_str("        }\n    }\n}\n");
+    out
+}

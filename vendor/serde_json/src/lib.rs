@@ -1,0 +1,54 @@
+//! Offline drop-in for the two `serde_json` entry points the workspace
+//! uses: [`to_string`] and [`to_string_pretty`].
+
+use serde::json::Writer;
+use serde::Serialize;
+
+/// Serialisation error. The shim's writer is infallible, so this is only a
+/// signature-compatibility placeholder.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = Writer::new(false);
+    value.serialize_json(&mut w);
+    Ok(w.finish())
+}
+
+/// Two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = Writer::new(true);
+    value.serialize_json(&mut w);
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_vecs() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(to_string(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn pretty_nests() {
+        let v = vec![vec!["x".to_string()], vec![]];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  [\n    \"x\"\n  ],\n  []\n]");
+    }
+}
