@@ -218,6 +218,33 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         ));
     }
 
+    // ISSUE 2: sharding across devices is value-transparent — same values
+    // and convergence iteration for D in {2, 4} — and the exchange step is
+    // actually priced.
+    {
+        let g = ctx.graph(DatasetId::Fk);
+        let src = crate::context::source_vertex(&g);
+        let run = |d: usize| {
+            let mut cfg = SystemKind::HyTGraph.configure(base_config());
+            cfg.num_devices = d;
+            cfg.threads = 1; // deterministic host kernels for bit-comparison
+            let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg);
+            let r = sys.run(hyt_algos::Sssp::from_source(src));
+            (r.values, r.iterations, r.counters.exchange_bytes)
+        };
+        let (v1, i1, x1) = run(1);
+        let (v2, i2, x2) = run(2);
+        let (v4, i4, x4) = run(4);
+        out.push(CheckResult::new(
+            "Multi-GPU: D in {2,4} bit-identical to D=1 (SSSP on FK), exchange priced",
+            v1 == v2 && v1 == v4 && i1 == i2 && i1 == i4 && x1 == 0 && x2 > 0 && x4 > x2,
+            format!(
+                "iterations {i1}/{i2}/{i4}, exchange bytes {x1}/{x2}/{x4}, values match: {}",
+                v1 == v2 && v1 == v4
+            ),
+        ));
+    }
+
     // Fig 9: Grus degrades far faster than HyTGraph across the size sweep.
     {
         let sweep = hyt_graph::datasets::rmat_sweep();

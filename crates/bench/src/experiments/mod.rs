@@ -8,6 +8,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod multigpu;
 pub mod nvlink;
 pub mod table1;
 pub mod table2;
@@ -110,6 +111,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "nvlink",
             about: "extension: fast-interconnect sweep (Section VIII future work)",
             run: nvlink::run,
+        },
+        Experiment {
+            name: "multigpu",
+            about: "extension: makespan scaling across D in {1,2,4,8} devices",
+            run: multigpu::run,
         },
     ]
 }

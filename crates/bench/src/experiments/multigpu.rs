@@ -1,0 +1,100 @@
+//! Extension experiment: multi-GPU sharded execution (ISSUE 2).
+//!
+//! Sweeps the device count `D ∈ {1, 2, 4, 8}` for SSSP and PageRank on
+//! two generated graphs — a skewed RMAT and a locality-heavy power-law
+//! web proxy — and reports, per `D`: the simulated makespan, the speedup
+//! over `D = 1`, the exchange traffic the all-to-all step adds, and
+//! whether the computed values stayed bit-identical to the single-device
+//! run (the sharding contract; the differential suite in
+//! `tests/multi_gpu.rs` enforces it, this table *shows* it).
+//!
+//! Scaling is deliberately sub-linear: every device brings its own kernel
+//! engine and streams, but all of them share one PCIe root complex, so
+//! transfer-bound phases serialise and the exchange step grows with `D`.
+
+use crate::context::{base_config, source_vertex, Ctx};
+use crate::table::{secs, Table};
+use hyt_algos::{PageRank, Sssp};
+use hyt_core::{HyTGraphConfig, HyTGraphSystem, SystemKind};
+use hyt_graph::{generators, Csr};
+
+const DEVICE_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn sharded(base: HyTGraphConfig, d: usize) -> HyTGraphConfig {
+    let mut cfg = SystemKind::HyTGraph.configure(base);
+    cfg.num_devices = d;
+    // Deterministic host kernels: the values==D1 column compares bit
+    // patterns across runs, and async seeds with parallel kernels are
+    // timing-dependent (f32 accumulation order for PR).
+    cfg.threads = 1;
+    cfg
+}
+
+struct SweepPoint {
+    time: f64,
+    iterations: u32,
+    exchange_bytes: u64,
+    identical: bool,
+}
+
+fn sweep_algo(g: &Csr, pagerank: bool) -> Vec<SweepPoint> {
+    let src = source_vertex(g);
+    let mut baseline: Option<(Vec<u64>, u32)> = None; // (value bits, iterations)
+    let mut out = Vec::new();
+    for &d in &DEVICE_SWEEP {
+        let mut sys = HyTGraphSystem::new(g.clone(), sharded(base_config(), d));
+        let (bits, iterations, time, exchange_bytes): (Vec<u64>, u32, f64, u64) = if pagerank {
+            let r = sys.run(PageRank::new());
+            let bits = PageRank::ranks(&r).iter().map(|x| x.to_bits() as u64).collect();
+            (bits, r.iterations, r.total_time, r.counters.exchange_bytes)
+        } else {
+            let r = sys.run(Sssp::from_source(src));
+            let bits = r.values.iter().map(|&x| x as u64).collect();
+            (bits, r.iterations, r.total_time, r.counters.exchange_bytes)
+        };
+        let identical = match &baseline {
+            None => {
+                baseline = Some((bits, iterations));
+                true
+            }
+            Some((b, i)) => *b == bits && *i == iterations,
+        };
+        out.push(SweepPoint { time, iterations, exchange_bytes, identical });
+    }
+    out
+}
+
+/// Regenerate the multi-GPU scaling table.
+pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
+    let graphs: Vec<(&str, Csr)> = vec![
+        ("RMAT-12 (skewed)", generators::rmat(12, 12.0, 42, true)),
+        ("PLAW-web (local)", generators::power_law_local(4096, 12.0, 2.4, 0.7, 64, 11, true)),
+    ];
+    let mut out = Vec::new();
+    for (label, g) in &graphs {
+        for pagerank in [false, true] {
+            let algo = if pagerank { "PR" } else { "SSSP" };
+            let mut t = Table::new(
+                format!(
+                    "Multi-GPU ({algo}, {label}, {} edges): makespan vs device count",
+                    g.num_edges()
+                ),
+                &["D", "time", "speedup", "iters", "exchange KB", "values==D1"],
+            );
+            let points = sweep_algo(g, pagerank);
+            let base = points[0].time;
+            for (&d, p) in DEVICE_SWEEP.iter().zip(&points) {
+                t.row(vec![
+                    d.to_string(),
+                    secs(p.time),
+                    format!("{:.2}x", base / p.time),
+                    p.iterations.to_string(),
+                    format!("{:.1}", p.exchange_bytes as f64 / 1024.0),
+                    if p.identical { "yes".into() } else { "NO".into() },
+                ]);
+            }
+            out.push(t);
+        }
+    }
+    out
+}

@@ -1,6 +1,7 @@
 //! System configuration.
 
 use crate::select::{SelectParams, Selection};
+use hyt_graph::DeviceAssignment;
 use hyt_sim::MachineModel;
 
 /// Scale shift shared with `hyt_graph::datasets`: datasets are 2¹⁰ smaller
@@ -49,7 +50,14 @@ pub struct HyTGraphConfig {
     pub hub_fraction: f64,
     /// Sync or async iteration semantics.
     pub async_mode: AsyncMode,
-    /// CUDA streams for the timeline simulator.
+    /// Simulated GPUs to shard partitions across (1 = the paper's
+    /// single-device platform). Sharding changes only the timeline — the
+    /// computed values and convergence iteration are identical for every
+    /// device count.
+    pub num_devices: usize,
+    /// How partitions map to devices when `num_devices > 1`.
+    pub device_assignment: DeviceAssignment,
+    /// CUDA streams for the timeline simulator (per device).
     pub num_streams: usize,
     /// Host threads for real computation (kernels, compaction, analysis).
     pub threads: usize,
@@ -77,6 +85,8 @@ impl Default for HyTGraphConfig {
             contribution_scheduling: true,
             hub_fraction: hyt_graph::hub_sort::HUB_FRACTION,
             async_mode: AsyncMode::Async { recompute: 1 },
+            num_devices: 1,
+            device_assignment: DeviceAssignment::EdgeBalanced,
             num_streams: 4,
             threads: default_threads(),
             max_iterations: 10_000,
@@ -107,6 +117,8 @@ mod tests {
         assert!(c.task_combining && c.contribution_scheduling);
         assert_eq!(c.async_mode, AsyncMode::Async { recompute: 1 });
         assert!((c.hub_fraction - 0.08).abs() < 1e-12);
+        assert_eq!(c.num_devices, 1, "the paper's platform is single-GPU");
+        assert_eq!(c.device_assignment, DeviceAssignment::EdgeBalanced);
     }
 
     #[test]

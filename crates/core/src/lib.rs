@@ -57,6 +57,6 @@ pub use config::{AsyncMode, HyTGraphConfig};
 pub use cost::{partition_costs, PartitionCosts};
 pub use hyt_engines::EngineKind;
 pub use runner::HyTGraphSystem;
-pub use select::{SelectParams, Selection};
-pub use stats::{EngineMix, IterationStats, RunResult};
+pub use select::{DeviceBudgets, SelectParams, Selection};
+pub use stats::{DeviceIterationStats, EngineMix, IterationStats, RunResult};
 pub use systems::SystemKind;

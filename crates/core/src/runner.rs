@@ -14,20 +14,39 @@
 //! The runner owns the correctness/timing split: *results* come from real
 //! host-side kernels over exactly the edges each engine delivers; *times*
 //! come from the simulator's makespan of the same task set.
+//!
+//! # Multi-device sharding
+//!
+//! With `config.num_devices > 1` the partitions are statically assigned to
+//! `D` simulated GPUs (see [`hyt_graph::DevicePlan`]) and every combined
+//! task is *sliced* by owning device: each device prices its slice with
+//! its own engines (per-device unified-memory caches and Grus budgets of
+//! `edge_budget / D`) and schedules it on its own streams, while all
+//! devices contend for one shared PCIe bus and one host compaction pool
+//! ([`MultiGpuSim`]). Between iterations an explicit all-to-all publishes
+//! every device's newly-activated owned vertices (id + 64-bit value) to
+//! the peers, priced as explicit copies on the shared bus.
+//!
+//! Kernels still execute in the *global* contribution-driven priority
+//! order — the iteration barrier means device placement cannot change
+//! what one synchronised iteration computes, so values and convergence
+//! iteration are **bit-identical** for every device count; only the
+//! timeline (and its per-device breakdown) changes. The differential
+//! suite in `tests/multi_gpu.rs` holds the runner to that claim.
 
 use crate::api::{InitialFrontier, Values, VertexProgram};
 use crate::combine::{combine_tasks, CombinedTask};
 use crate::config::{AsyncMode, HyTGraphConfig};
 use crate::kernel::{run_kernel, EdgeSource};
 use crate::priority::order_tasks;
-use crate::select::{select_engines, Selection};
-use crate::stats::{EngineMix, IterationStats, RunResult};
+use crate::select::{select_engines_sharded, DeviceBudgets, Selection};
+use crate::stats::{DeviceIterationStats, EngineMix, IterationStats, RunResult};
 use hyt_engines::{
     analyze_partitions, compaction, filter, zero_copy, EngineKind, PartitionActivity, TaskPlan,
     UnifiedState,
 };
-use hyt_graph::{hub_sort, Csr, Frontier, HubSortResult, PartitionSet, VertexId};
-use hyt_sim::{SimTask, StreamSim, TransferCounters};
+use hyt_graph::{hub_sort, Csr, DevicePlan, Frontier, HubSortResult, PartitionSet, VertexId};
+use hyt_sim::{MultiGpuSim, SimTask, SimTime, TransferCounters};
 
 /// Per-iteration orchestration overhead (GPU-side cost analysis +
 /// selection result copy-back + frontier bookkeeping), expressed as a
@@ -46,12 +65,17 @@ pub const CPU_ITERATION_OVERHEAD: f64 = 100.0e-6;
 /// before edge data can be cached (Section II-A's data placement).
 pub const VERTEX_STATE_BYTES: u64 = 24;
 
+/// Bytes per record of the inter-device frontier exchange: a 32-bit vertex
+/// id plus the 64-bit value slot it carries.
+pub const EXCHANGE_RECORD_BYTES: u64 = 12;
+
 /// A configured system bound to one graph: construct once, run many
 /// algorithms (hub sorting is a one-off preprocessing step, Section VI-A).
 pub struct HyTGraphSystem {
     graph: Csr,
     hub: Option<HubSortResult>,
     parts: PartitionSet,
+    devices: DevicePlan,
     config: HyTGraphConfig,
 }
 
@@ -75,7 +99,14 @@ impl HyTGraphSystem {
         };
         let working = hub.as_ref().map(|h| h.graph.clone()).unwrap_or_else(|| graph.clone());
         let parts = PartitionSet::build(&working, config.partition_bytes);
-        HyTGraphSystem { graph: working, hub, parts, config }
+        let num_hubs = hub.as_ref().map_or(0, |h| h.num_hubs);
+        let devices = DevicePlan::build(
+            &parts,
+            config.num_devices.max(1) as u32,
+            config.device_assignment,
+            num_hubs,
+        );
+        HyTGraphSystem { graph: working, hub, parts, devices, config }
     }
 
     /// Number of vertices.
@@ -96,6 +127,11 @@ impl HyTGraphSystem {
     /// Partition count at the configured budget.
     pub fn num_partitions(&self) -> usize {
         self.parts.len()
+    }
+
+    /// The static partition→device assignment.
+    pub fn device_plan(&self) -> &DevicePlan {
+        &self.devices
     }
 
     /// The active configuration.
@@ -139,12 +175,19 @@ impl HyTGraphSystem {
         let edge_budget =
             (self.config.machine.edge_budget.saturating_sub(nv as u64 * VERTEX_STATE_BYTES) as f64
                 * self.config.machine.um_utilization) as u64;
-        let mut um_state = UnifiedState::with_budget(&self.config.machine, edge_budget);
-        let mut grus = GrusState {
-            resident: vec![false; self.parts.len()],
-            charged: vec![false; self.parts.len()],
-            budget_left: edge_budget,
-        };
+        // One residency state per device: each simulated GPU caches edge
+        // data out of its own memory carve (edge_budget / D).
+        let budgets = DeviceBudgets::split(edge_budget, self.devices.num_devices() as usize);
+        let mut um_states: Vec<UnifiedState> = (0..budgets.len())
+            .map(|d| UnifiedState::with_budget(&self.config.machine, budgets.get(d)))
+            .collect();
+        let mut grus_states: Vec<GrusState> = (0..budgets.len())
+            .map(|d| GrusState {
+                resident: vec![false; self.parts.len()],
+                charged: vec![false; self.parts.len()],
+                budget_left: budgets.get(d),
+            })
+            .collect();
         let mut per_iteration = Vec::new();
         let mut total_counters = TransferCounters::new();
         let mut total_time = self.config.startup_edge_passes * (self.num_edges() * bpe) as f64
@@ -161,8 +204,8 @@ impl HyTGraphSystem {
                     &mut frontier,
                     iter,
                     bpe,
-                    &mut um_state,
-                    &mut grus,
+                    &mut um_states,
+                    &mut grus_states,
                 )
             };
             total_time += stats.time;
@@ -194,7 +237,12 @@ impl HyTGraphSystem {
         self.num_edges() * self.effective_bytes_per_edge::<P>()
     }
 
-    /// One iteration on the simulated GPU platform.
+    /// One iteration on the simulated GPU platform (1..D devices).
+    ///
+    /// Kernels run in the global priority order regardless of `D` — the
+    /// per-iteration barrier makes placement invisible to the computed
+    /// values — while pricing slices every combined task by owning device
+    /// and plays the slices on per-device timelines behind the shared bus.
     #[allow(clippy::too_many_arguments)]
     fn run_iteration_gpu<P: VertexProgram>(
         &self,
@@ -203,11 +251,13 @@ impl HyTGraphSystem {
         frontier: &mut Frontier,
         iteration: u32,
         bpe: u64,
-        um_state: &mut UnifiedState,
-        grus: &mut GrusState,
+        um_states: &mut [UnifiedState],
+        grus_states: &mut [GrusState],
     ) -> IterationStats {
         let cfg = &self.config;
         let machine = &cfg.machine;
+        let devices = &self.devices;
+        let nd = devices.num_devices() as usize;
         let snapshot = match cfg.async_mode {
             AsyncMode::Sync => Some(values.snapshot()),
             AsyncMode::Async { .. } => None,
@@ -217,60 +267,99 @@ impl HyTGraphSystem {
             AsyncMode::Async { recompute } => recompute,
         };
 
-        // --- Stage 1: cost-aware task generation. ---
+        // --- Stage 1: cost-aware task generation (per device). ---
         let acts =
             analyze_partitions(&self.graph, &self.parts, frontier, &machine.pcie, bpe, cfg.threads);
         let decisions = match cfg.selection {
-            Selection::GrusLike => grus_select(&acts, &self.parts, grus, bpe),
-            sel => select_engines(&acts, &machine.pcie, bpe, sel, &cfg.select_params),
+            Selection::GrusLike => grus_select(&acts, &self.parts, devices, grus_states, bpe),
+            sel => {
+                select_engines_sharded(&acts, devices, &machine.pcie, bpe, sel, &cfg.select_params)
+            }
         };
         let mut mix = EngineMix::default();
-        for &(_, kind) in &decisions {
+        let mut dev_mix = vec![EngineMix::default(); nd];
+        for &(i, kind) in &decisions {
             mix.add(kind, 1);
+            dev_mix[devices.device_of(acts[i].partition) as usize].add(kind, 1);
         }
         let mut tasks = combine_tasks(&decisions, cfg.combine_k, cfg.task_combining);
         order_tasks(&mut tasks, &acts, program, values, cfg.contribution_scheduling);
 
         // --- Stage 2: execution + pricing. ---
         let next = Frontier::new(self.graph.num_vertices());
-        let mut sim_tasks: Vec<SimTask> = Vec::with_capacity(tasks.len());
+        let mut dev_tasks: Vec<Vec<SimTask>> = vec![Vec::new(); nd];
         let mut counters = TransferCounters::new();
         for task in &tasks {
             let refs: Vec<&PartitionActivity> = task.members.iter().map(|&i| &acts[i]).collect();
-            let mut plan = match task.kind {
-                EngineKind::ExpFilter => filter::plan_filter(machine, &self.graph, &refs, bpe),
-                EngineKind::ExpCompaction => {
-                    compaction::plan_compaction(machine, &self.graph, &refs, bpe, cfg.threads)
-                }
-                EngineKind::ImpZeroCopy => {
-                    let mut p = zero_copy::plan_zero_copy(machine, &refs);
-                    if cfg.selection == Selection::GrusLike {
-                        // Grus predates EMOGI's merged-and-aligned warp
-                        // access; its zero-copy path issues ~64-byte
-                        // requests, doubling TLP traffic (Fig. 3(e)).
-                        p.transfer_time *= 2.0;
-                        p.counters.zero_copy_bytes *= 2;
-                        p.counters.tlps *= 2;
-                    }
-                    p
-                }
-                EngineKind::ImpUnified => match cfg.selection {
-                    Selection::GrusLike => {
-                        plan_grus_um(machine, &self.graph, &self.parts, &refs, bpe, grus)
-                    }
-                    _ => um_state.plan_unified(machine, &self.graph, &refs, bpe),
-                },
-            };
 
-            // Real kernel over exactly the delivered edges.
-            let source = match plan.compacted.as_ref() {
+            // Slice the task's members by owning device (ascending device
+            // id, members keeping their order within a slice).
+            let mut slices: Vec<(u32, Vec<&PartitionActivity>)> = Vec::new();
+            for a in &refs {
+                let dev = devices.device_of(a.partition);
+                match slices.iter_mut().find(|(d, _)| *d == dev) {
+                    Some((_, v)) => v.push(a),
+                    None => slices.push((dev, vec![a])),
+                }
+            }
+            slices.sort_by_key(|&(d, _)| d);
+
+            // Price each device's slice with that device's engine state.
+            let mut plans: Vec<(u32, TaskPlan)> = slices
+                .iter()
+                .map(|(dev, srefs)| {
+                    let d = *dev as usize;
+                    let plan = match task.kind {
+                        EngineKind::ExpFilter => {
+                            filter::plan_filter(machine, &self.graph, srefs, bpe)
+                        }
+                        EngineKind::ExpCompaction => {
+                            compaction::price_compaction(machine, srefs, bpe)
+                        }
+                        EngineKind::ImpZeroCopy => {
+                            let mut p = zero_copy::plan_zero_copy(machine, srefs);
+                            if cfg.selection == Selection::GrusLike {
+                                // Grus predates EMOGI's merged-and-aligned
+                                // warp access; its zero-copy path issues
+                                // ~64-byte requests, doubling TLP traffic
+                                // (Fig. 3(e)).
+                                p.transfer_time *= 2.0;
+                                p.counters.zero_copy_bytes *= 2;
+                                p.counters.tlps *= 2;
+                            }
+                            p
+                        }
+                        EngineKind::ImpUnified => match cfg.selection {
+                            Selection::GrusLike => plan_grus_um(
+                                machine,
+                                &self.graph,
+                                &self.parts,
+                                srefs,
+                                bpe,
+                                &mut grus_states[d],
+                            ),
+                            _ => um_states[d].plan_unified(machine, &self.graph, srefs, bpe),
+                        },
+                    };
+                    (*dev, plan)
+                })
+                .collect();
+
+            // Real kernel over exactly the delivered edges, one launch per
+            // combined task (identical to the single-device run: same
+            // member order, same gather, same edge source).
+            let active_all: Vec<VertexId> =
+                refs.iter().flat_map(|a| a.active_vertices.iter().copied()).collect();
+            let compacted = (task.kind == EngineKind::ExpCompaction)
+                .then(|| compaction::compact(&self.graph, &active_all, cfg.threads));
+            let source = match compacted.as_ref() {
                 Some(c) => EdgeSource::Compacted(c),
                 None => EdgeSource::Csr(&self.graph),
             };
             run_kernel(
                 program,
                 source,
-                &plan.active_vertices,
+                &active_all,
                 values,
                 &next,
                 snapshot.as_deref(),
@@ -280,7 +369,7 @@ impl HyTGraphSystem {
             // Recompute pass(es) over loaded data (Section VI-A: HyTGraph
             // reprocesses the loaded subgraph exactly once; Subway loops).
             for _ in 0..recompute_rounds {
-                let eligible = self.collect_recompute(&next, task, &plan);
+                let eligible = self.collect_recompute(&next, task, &acts, &active_all);
                 if eligible.is_empty() {
                     break;
                 }
@@ -296,14 +385,32 @@ impl HyTGraphSystem {
                     None,
                     cfg.threads,
                 );
-                self.charge_recompute(&eligible, task.kind, bpe, &mut plan);
+                self.charge_recompute(&eligible, task.kind, bpe, &mut plans);
             }
 
-            counters.merge(&plan.counters);
-            sim_tasks.push(plan.to_sim_task());
+            for (dev, plan) in &plans {
+                counters.merge(&plan.counters);
+                dev_tasks[*dev as usize].push(plan.to_sim_task_for_device(*dev));
+            }
         }
 
-        let timeline = StreamSim::new(cfg.num_streams).schedule(&sim_tasks);
+        // Each device's slice list inherits the global priority order
+        // restricted to that device — per-device priority ordering for
+        // free. Play them against the shared-bus machine model.
+        let timeline = MultiGpuSim::new(nd, cfg.num_streams).schedule(&dev_tasks);
+        let (exchange_time, exchange_bytes) = self.price_exchange(&next);
+        counters.exchange_bytes += exchange_bytes;
+
+        let per_device: Vec<DeviceIterationStats> = (0..nd)
+            .map(|d| DeviceIterationStats {
+                device: d as u32,
+                tasks: dev_tasks[d].len() as u32,
+                mix: dev_mix[d],
+                time: timeline.per_device[d].makespan,
+                transfer_time: timeline.per_device[d].pcie_busy,
+                compute_time: timeline.per_device[d].gpu_busy,
+            })
+            .collect();
         let active_vertices: u64 = acts.iter().map(|a| a.active_vertices.len() as u64).sum();
         let active_edges: u64 = acts.iter().map(|a| a.active_edges).sum();
         let stats = IterationStats {
@@ -313,17 +420,69 @@ impl HyTGraphSystem {
             active_partitions: decisions.len() as u32,
             total_partitions: self.parts.len() as u32,
             mix,
-            tasks: tasks.len() as u32,
-            time: timeline.makespan + ITERATION_OVERHEAD_COPIES * machine.pcie.copy_latency,
-            transfer_time: timeline.pcie_busy,
-            compute_time: timeline.gpu_busy,
+            tasks: dev_tasks.iter().map(Vec::len).sum::<usize>() as u32,
+            time: timeline.makespan
+                + exchange_time
+                + ITERATION_OVERHEAD_COPIES * machine.pcie.copy_latency,
+            transfer_time: timeline.bus_busy + exchange_time,
+            compute_time: timeline.gpu_busy_total(),
             compaction_time: timeline.cpu_busy,
+            exchange_time,
+            per_device,
             counters,
         };
         let mut drained = Frontier::new(self.graph.num_vertices());
         drained.copy_from(&next);
         frontier.swap(&mut drained);
         stats
+    }
+
+    /// Price the end-of-iteration all-to-all (D > 1 only): each device
+    /// publishes the `(id, value)` records of its newly-activated owned
+    /// vertices and receives every other device's batch, serialised on the
+    /// shared bus as explicit copies (the iteration barrier means the
+    /// exchange cannot overlap the next iteration's work).
+    fn price_exchange(&self, next: &Frontier) -> (SimTime, u64) {
+        let nd = self.devices.num_devices() as usize;
+        if nd <= 1 {
+            return (0.0, 0);
+        }
+        // Only devices that own a shard participate: a spare device with
+        // no partitions computes nothing, so it neither publishes nor
+        // subscribes (otherwise idle devices would inflate the exchange
+        // linearly when D exceeds the partition count).
+        let mut participates = vec![false; nd];
+        for pid in 0..self.parts.len() as u32 {
+            participates[self.devices.device_of(pid) as usize] = true;
+        }
+        if participates.iter().filter(|&&p| p).count() <= 1 {
+            return (0.0, 0); // one shard-holder has no peers to talk to
+        }
+        let mut out = vec![0u64; nd];
+        for v in next.iter() {
+            out[self.devices.device_of(self.parts.owner_of(v)) as usize] += 1;
+        }
+        let total: u64 = out.iter().sum();
+        if total == 0 {
+            return (0.0, 0);
+        }
+        let pcie = &self.config.machine.pcie;
+        let mut time = 0.0;
+        let mut bytes = 0u64;
+        for (d, &owned) in out.iter().enumerate() {
+            if !participates[d] {
+                continue;
+            }
+            let up = owned * EXCHANGE_RECORD_BYTES;
+            let down = (total - owned) * EXCHANGE_RECORD_BYTES;
+            for b in [up, down] {
+                if b > 0 {
+                    time += pcie.explicit_copy_time(b);
+                    bytes += b;
+                }
+            }
+        }
+        (time, bytes)
     }
 
     /// Newly-activated vertices that the already-loaded task data can
@@ -333,16 +492,17 @@ impl HyTGraphSystem {
         &self,
         next: &Frontier,
         task: &CombinedTask,
-        plan: &TaskPlan,
+        acts: &[PartitionActivity],
+        active_all: &[VertexId],
     ) -> Vec<VertexId> {
         match task.kind {
             EngineKind::ExpCompaction => {
-                plan.active_vertices.iter().copied().filter(|&v| next.contains(v)).collect()
+                active_all.iter().copied().filter(|&v| next.contains(v)).collect()
             }
             _ => {
                 let mut out = Vec::new();
-                for &pid in &plan.partitions {
-                    let p = self.parts.get(pid);
+                for &i in &task.members {
+                    let p = self.parts.get(acts[i].partition);
                     out.extend(next.iter_range(p.first_vertex, p.end_vertex));
                 }
                 out
@@ -350,30 +510,47 @@ impl HyTGraphSystem {
         }
     }
 
-    /// Price the recompute pass: always an extra kernel; zero-copy also
-    /// pays the bus again (its reads are never resident).
+    /// Price the recompute pass, attributing each vertex's share to the
+    /// device slice that loaded its partition: an extra kernel launch per
+    /// participating device; zero-copy also pays the bus again (its reads
+    /// are never resident).
     fn charge_recompute(
         &self,
         eligible: &[VertexId],
         kind: EngineKind,
         bpe: u64,
-        plan: &mut TaskPlan,
+        plans: &mut [(u32, TaskPlan)],
     ) {
         let machine = &self.config.machine;
-        let edges: u64 = eligible.iter().map(|&v| self.graph.out_degree(v)).sum();
-        plan.kernel_time += machine.kernel.kernel_time(edges);
-        plan.counters.kernel_edges += edges;
-        plan.counters.kernel_launches += 1;
-        if kind == EngineKind::ImpZeroCopy {
+        for (dev, plan) in plans.iter_mut() {
+            let mine = eligible
+                .iter()
+                .copied()
+                .filter(|&v| self.devices.device_of(self.parts.owner_of(v)) == *dev);
+            let mut edges = 0u64;
             let mut requests = 0u64;
-            for &v in eligible {
-                let start = self.graph.row_offset()[v as usize] * bpe;
-                requests += machine.pcie.requests_for_span(start, self.graph.out_degree(v) * bpe);
+            let mut any = false;
+            for v in mine {
+                any = true;
+                let deg = self.graph.out_degree(v);
+                edges += deg;
+                if kind == EngineKind::ImpZeroCopy {
+                    let start = self.graph.row_offset()[v as usize] * bpe;
+                    requests += machine.pcie.requests_for_span(start, deg * bpe);
+                }
             }
-            let tlps = machine.pcie.zero_copy_tlps(requests);
-            plan.transfer_time += tlps as f64 * machine.pcie.rtt_zc(1.0);
-            plan.counters.zero_copy_bytes += requests * machine.pcie.request_bytes;
-            plan.counters.tlps += tlps;
+            if !any {
+                continue;
+            }
+            plan.kernel_time += machine.kernel.kernel_time(edges);
+            plan.counters.kernel_edges += edges;
+            plan.counters.kernel_launches += 1;
+            if kind == EngineKind::ImpZeroCopy {
+                let tlps = machine.pcie.zero_copy_tlps(requests);
+                plan.transfer_time += tlps as f64 * machine.pcie.rtt_zc(1.0);
+                plan.counters.zero_copy_bytes += requests * machine.pcie.request_bytes;
+                plan.counters.tlps += tlps;
+            }
         }
     }
 
@@ -412,6 +589,8 @@ impl HyTGraphSystem {
             transfer_time: 0.0,
             compute_time: time,
             compaction_time: 0.0,
+            exchange_time: 0.0,
+            per_device: Vec::new(),
             counters: TransferCounters { kernel_edges: active_edges, ..Default::default() },
         };
         let mut drained = Frontier::new(self.graph.num_vertices());
@@ -421,13 +600,16 @@ impl HyTGraphSystem {
     }
 }
 
-/// Grus's policy: resident partitions are unified-memory hits; while device
-/// budget remains, migrate (and pin) whole partitions through UM;
-/// afterwards fall back to zero-copy.
+/// Grus's policy, per device: resident partitions are unified-memory hits;
+/// while the owning device's budget remains, migrate (and pin) whole
+/// partitions through UM; afterwards fall back to zero-copy. Each device
+/// tracks its own residency and budget (single-device runs see exactly
+/// the original global behaviour).
 fn grus_select(
     acts: &[PartitionActivity],
     parts: &PartitionSet,
-    grus: &mut GrusState,
+    devices: &DevicePlan,
+    states: &mut [GrusState],
     bytes_per_edge: u64,
 ) -> Vec<(usize, EngineKind)> {
     acts.iter()
@@ -435,6 +617,7 @@ fn grus_select(
         .filter(|(_, a)| a.is_active())
         .map(|(i, a)| {
             let pid = a.partition as usize;
+            let grus = &mut states[devices.device_of(a.partition) as usize];
             if grus.resident[pid] {
                 (i, EngineKind::ImpUnified)
             } else {

@@ -15,6 +15,7 @@
 
 use crate::cost::{partition_costs, PartitionCosts};
 use hyt_engines::{EngineKind, PartitionActivity};
+use hyt_graph::DevicePlan;
 use hyt_sim::PcieModel;
 
 /// Which selection policy the system runs (a whole "system" in the paper's
@@ -80,22 +81,93 @@ pub fn select_engines(
     acts.iter()
         .enumerate()
         .filter(|(_, a)| a.is_active())
-        .map(|(i, a)| {
-            let kind = match selection {
-                Selection::Hybrid => {
-                    choose_engine(&partition_costs(a, pcie, bytes_per_edge), params)
-                }
-                Selection::FilterOnly => EngineKind::ExpFilter,
-                Selection::CompactionOnly => EngineKind::ExpCompaction,
-                Selection::ZeroCopyOnly => EngineKind::ImpZeroCopy,
-                Selection::UnifiedOnly | Selection::GrusLike => EngineKind::ImpUnified,
-                Selection::CpuOnly => {
-                    unreachable!("CPU-only systems bypass engine selection")
-                }
-            };
-            (i, kind)
-        })
+        .map(|(i, a)| (i, stateless_kind(a, pcie, bytes_per_edge, selection, params)))
         .collect()
+}
+
+/// The stateless per-partition rule shared by [`select_engines`] and
+/// [`select_engines_sharded`].
+fn stateless_kind(
+    a: &PartitionActivity,
+    pcie: &PcieModel,
+    bytes_per_edge: u64,
+    selection: Selection,
+    params: &SelectParams,
+) -> EngineKind {
+    match selection {
+        Selection::Hybrid => choose_engine(&partition_costs(a, pcie, bytes_per_edge), params),
+        Selection::FilterOnly => EngineKind::ExpFilter,
+        Selection::CompactionOnly => EngineKind::ExpCompaction,
+        Selection::ZeroCopyOnly => EngineKind::ImpZeroCopy,
+        Selection::UnifiedOnly | Selection::GrusLike => EngineKind::ImpUnified,
+        Selection::CpuOnly => unreachable!("CPU-only systems bypass engine selection"),
+    }
+}
+
+/// Per-device engine selection: each device's selector sees only the
+/// partitions it owns — the paper computes selection on the GPU, and in a
+/// sharded deployment each device analyses its own shard. The merged
+/// result is returned in ascending partition order.
+///
+/// Because every policy handled here is stateless per partition, the
+/// merged decisions are *identical* to a global [`select_engines`] pass (a
+/// unit test asserts it); the value of the per-device structure is that
+/// stateful residency policies (Grus, pure UM) can layer per-device
+/// [`DeviceBudgets`] on top without the devices observing each other.
+pub fn select_engines_sharded(
+    acts: &[PartitionActivity],
+    devices: &DevicePlan,
+    pcie: &PcieModel,
+    bytes_per_edge: u64,
+    selection: Selection,
+    params: &SelectParams,
+) -> Vec<(usize, EngineKind)> {
+    let mut out = Vec::new();
+    for d in 0..devices.num_devices() {
+        for (i, a) in acts.iter().enumerate() {
+            if !a.is_active() || devices.device_of(a.partition) != d {
+                continue;
+            }
+            out.push((i, stateless_kind(a, pcie, bytes_per_edge, selection, params)));
+        }
+    }
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out
+}
+
+/// An even carve-up of the device edge budget across `D` devices: each
+/// simulated GPU caches edge data out of its own memory, so the stateful
+/// residency policies (unified-memory LRU, Grus pin-until-full) get
+/// `total / D` each instead of one shared pool.
+#[derive(Clone, Debug)]
+pub struct DeviceBudgets {
+    per_device: Vec<u64>,
+}
+
+impl DeviceBudgets {
+    /// Split `total` bytes across `num_devices` (minimum 1) devices,
+    /// spreading the remainder over the lowest device ids.
+    pub fn split(total: u64, num_devices: usize) -> DeviceBudgets {
+        let n = num_devices.max(1);
+        let base = total / n as u64;
+        let rem = (total % n as u64) as usize;
+        DeviceBudgets { per_device: (0..n).map(|i| base + u64::from(i < rem)).collect() }
+    }
+
+    /// Budget of device `d`.
+    pub fn get(&self, d: usize) -> u64 {
+        self.per_device[d]
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Never empty (minimum one device).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +231,41 @@ mod tests {
         let sel =
             select_engines(&acts, &pcie, 4, Selection::ZeroCopyOnly, &SelectParams::default());
         assert_eq!(sel, vec![(0, EngineKind::ImpZeroCopy)]);
+    }
+
+    #[test]
+    fn sharded_selection_equals_global_selection() {
+        use hyt_graph::{generators, DeviceAssignment, Frontier, PartitionSet};
+        let g = generators::rmat(10, 8.0, 13, true);
+        let ps = PartitionSet::build_count(&g, 16);
+        let f = Frontier::new(g.num_vertices());
+        for v in (0..g.num_vertices()).step_by(3) {
+            f.insert(v);
+        }
+        let pcie = PcieModel::pcie3();
+        let acts = hyt_engines::analyze_partitions(&g, &ps, &f, &pcie, g.bytes_per_edge(), 4);
+        let params = SelectParams::default();
+        for sel in [Selection::Hybrid, Selection::FilterOnly, Selection::ZeroCopyOnly] {
+            let global = select_engines(&acts, &pcie, 4, sel, &params);
+            for d in [1u32, 2, 4] {
+                let plan = DevicePlan::build(&ps, d, DeviceAssignment::EdgeBalanced, 0);
+                let sharded = select_engines_sharded(&acts, &plan, &pcie, 4, sel, &params);
+                assert_eq!(sharded, global, "{sel:?} with {d} devices");
+            }
+        }
+    }
+
+    #[test]
+    fn device_budgets_split_evenly_with_remainder_low() {
+        let b = DeviceBudgets::split(10, 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!((0..4).map(|d| b.get(d)).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        let one = DeviceBudgets::split(77, 1);
+        assert_eq!(one.get(0), 77);
+        let clamped = DeviceBudgets::split(5, 0);
+        assert_eq!(clamped.len(), 1);
+        assert_eq!(clamped.get(0), 5);
+        assert!(!clamped.is_empty());
     }
 
     #[test]

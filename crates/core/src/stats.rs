@@ -52,6 +52,24 @@ impl EngineMix {
     }
 }
 
+/// One device's share of an iteration (multi-GPU runs record one entry
+/// per device; CPU-only iterations record none).
+#[derive(Clone, Debug, Serialize)]
+pub struct DeviceIterationStats {
+    /// Device id.
+    pub device: u32,
+    /// Scheduled task slices on this device.
+    pub tasks: u32,
+    /// Engine mix over this device's active partitions.
+    pub mix: EngineMix,
+    /// Device-local makespan (the iteration barrier waits for the max).
+    pub time: SimTime,
+    /// This device's share of shared-bus busy time.
+    pub transfer_time: SimTime,
+    /// This device's kernel busy time.
+    pub compute_time: SimTime,
+}
+
 /// One iteration's record.
 #[derive(Clone, Debug, Serialize)]
 pub struct IterationStats {
@@ -77,6 +95,11 @@ pub struct IterationStats {
     pub compute_time: SimTime,
     /// CPU compaction busy time.
     pub compaction_time: SimTime,
+    /// Inter-device frontier/value exchange time (0 on one device).
+    pub exchange_time: SimTime,
+    /// Per-device breakdown (one entry per simulated GPU; empty for
+    /// CPU-only iterations).
+    pub per_device: Vec<DeviceIterationStats>,
     /// Transfer counters for the iteration.
     pub counters: TransferCounters,
 }

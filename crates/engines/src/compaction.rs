@@ -180,6 +180,53 @@ pub fn plan_compaction(
     }
 }
 
+/// Price an ExpTM-compaction task from the activity sums alone, without
+/// materialising the gather.
+///
+/// The gathered volume is closed-form — `Σ_{v∈Ai} Do(v)·d1 + |Ai|·d2` —
+/// so every timing and counter field equals [`plan_compaction`]'s (a unit
+/// test asserts it); only `compacted` is `None`. The multi-device runner
+/// uses this to price each device's *slice* of a combined compaction task
+/// while the real gather (which feeds the kernel) happens once for the
+/// whole task.
+pub fn price_compaction(
+    machine: &MachineModel,
+    acts: &[&PartitionActivity],
+    bytes_per_edge: u64,
+) -> TaskPlan {
+    let mut active = Vec::new();
+    let mut partitions = Vec::with_capacity(acts.len());
+    let mut active_edges = 0u64;
+    for a in acts {
+        partitions.push(a.partition);
+        active.extend_from_slice(&a.active_vertices);
+        active_edges += a.active_edges;
+    }
+    let bytes = active_edges * bytes_per_edge + active.len() as u64 * INDEX_BYTES;
+    let cpu_time = machine.compaction_time(bytes);
+    let transfer_time = machine.pcie.explicit_copy_time(bytes);
+    let kernel_time = machine.kernel.kernel_time(active_edges);
+    let counters = TransferCounters {
+        explicit_bytes: bytes,
+        tlps: machine.pcie.explicit_copy_tlps(bytes),
+        compaction_bytes: bytes,
+        kernel_edges: active_edges,
+        kernel_launches: 1,
+        ..Default::default()
+    };
+    TaskPlan {
+        kind: EngineKind::ExpCompaction,
+        partitions,
+        active_vertices: active,
+        active_edges,
+        cpu_time,
+        transfer_time,
+        kernel_time,
+        counters,
+        compacted: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +272,35 @@ mod tests {
         let c = compact(&g, &active, 2);
         let sum_deg: u64 = active.iter().map(|&v| g.out_degree(v)).sum();
         assert_eq!(c.transfer_bytes(4), sum_deg * 4 + 3 * INDEX_BYTES);
+    }
+
+    #[test]
+    fn price_compaction_matches_plan_compaction() {
+        let g = generators::rmat(9, 8.0, 11, true);
+        let ps = PartitionSet::build_count(&g, 8);
+        let f = Frontier::new(g.num_vertices());
+        for v in (0..g.num_vertices()).step_by(5) {
+            f.insert(v);
+        }
+        let machine = MachineModel::paper_platform();
+        let acts = crate::activity::analyze_partitions(
+            &g,
+            &ps,
+            &f,
+            &PcieModel::pcie3(),
+            g.bytes_per_edge(),
+            4,
+        );
+        let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
+        let full = plan_compaction(&machine, &g, &refs, g.bytes_per_edge(), 4);
+        let priced = price_compaction(&machine, &refs, g.bytes_per_edge());
+        assert_eq!(priced.cpu_time, full.cpu_time);
+        assert_eq!(priced.transfer_time, full.transfer_time);
+        assert_eq!(priced.kernel_time, full.kernel_time);
+        assert_eq!(priced.counters, full.counters);
+        assert_eq!(priced.active_vertices, full.active_vertices);
+        assert_eq!(priced.partitions, full.partitions);
+        assert!(priced.compacted.is_none());
     }
 
     #[test]

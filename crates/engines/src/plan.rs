@@ -61,7 +61,17 @@ impl TaskPlan {
     /// fuse transfer and kernel (implicit overlap); explicit engines
     /// pipeline transfer → kernel; compaction prepends the CPU phase.
     pub fn to_sim_task(&self) -> SimTask {
-        let label = format!("{}:{:?}", self.kind.label(), self.partitions);
+        self.with_label(format!("{}:{:?}", self.kind.label(), self.partitions))
+    }
+
+    /// [`TaskPlan::to_sim_task`] labelled with the owning device — the
+    /// multi-device runner files one slice of a combined task per device
+    /// and the trace must say whose timeline it landed on.
+    pub fn to_sim_task_for_device(&self, device: u32) -> SimTask {
+        self.with_label(format!("d{device}|{}:{:?}", self.kind.label(), self.partitions))
+    }
+
+    fn with_label(&self, label: String) -> SimTask {
         match self.kind {
             EngineKind::ExpFilter => SimTask::explicit(label, self.transfer_time, self.kernel_time),
             EngineKind::ExpCompaction => {
@@ -115,6 +125,14 @@ mod tests {
         assert_eq!(plan(EngineKind::ExpFilter).to_sim_task().phases.len(), 2);
         assert_eq!(plan(EngineKind::ExpCompaction).to_sim_task().phases.len(), 3);
         assert_eq!(plan(EngineKind::ImpZeroCopy).to_sim_task().phases.len(), 1);
+    }
+
+    #[test]
+    fn device_label_prefixes_but_keeps_phases() {
+        let p = plan(EngineKind::ExpFilter);
+        let t = p.to_sim_task_for_device(3);
+        assert!(t.label.starts_with("d3|E-F:"), "label {}", t.label);
+        assert_eq!(t.phases, p.to_sim_task().phases);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use edgelist::EdgeList;
 pub use frontier::Frontier;
 pub use generators::GraphBuilder;
 pub use hub_sort::{hub_sort, HubSortResult};
-pub use partition::{Partition, PartitionSet};
+pub use partition::{DeviceAssignment, DevicePlan, Partition, PartitionSet};
 
 /// Vertex identifier. The paper assumes 4-byte vertex ids (`d1 = 4`), and so
 /// do we: all cost-model arithmetic uses `size_of::<VertexId>()`.

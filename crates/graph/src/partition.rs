@@ -153,6 +153,109 @@ impl PartitionSet {
     }
 }
 
+/// How partitions are assigned to simulated devices in a multi-GPU run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceAssignment {
+    /// Weighted round-robin: partitions are dealt, in id order, to the
+    /// device with the least accumulated edge weight (ties to the lowest
+    /// device id). Keeps per-device edge loads within one partition of
+    /// each other without reordering partitions.
+    EdgeBalanced,
+    /// Hub-aware: partitions containing hub vertices (the hub-sorted
+    /// prefix of the id space) are dealt strictly round-robin so every
+    /// device owns an equal share of the high-contribution partitions its
+    /// scheduler prioritises; the non-hub tail is then edge-balanced.
+    /// Falls back to [`DeviceAssignment::EdgeBalanced`] when the graph was
+    /// not hub-sorted (no hub prefix).
+    HubAware,
+}
+
+/// A static assignment of every partition to one of `D` simulated devices.
+///
+/// Device placement is a preprocessing decision (like hub sorting): it is
+/// computed once per system and stays fixed across iterations, so the
+/// per-iteration exchange step only ever moves frontier activations, never
+/// re-shards edge data.
+#[derive(Clone, Debug)]
+pub struct DevicePlan {
+    num_devices: u32,
+    /// `device_of[pid]` = owning device.
+    device_of: Vec<u32>,
+    /// Accumulated edge count per device.
+    loads: Vec<u64>,
+}
+
+impl DevicePlan {
+    /// Assign `parts` to `num_devices` devices (minimum 1) under
+    /// `assignment`. `num_hub_vertices` is the length of the hub-sorted
+    /// prefix of the vertex id space (0 when the graph is not hub-sorted);
+    /// only [`DeviceAssignment::HubAware`] reads it.
+    pub fn build(
+        parts: &PartitionSet,
+        num_devices: u32,
+        assignment: DeviceAssignment,
+        num_hub_vertices: u32,
+    ) -> DevicePlan {
+        let d = num_devices.max(1);
+        let mut plan = DevicePlan {
+            num_devices: d,
+            device_of: vec![0; parts.len()],
+            loads: vec![0; d as usize],
+        };
+        let mut dealt = 0u32; // hub partitions dealt round-robin so far
+        for p in parts.partitions() {
+            let dev = match assignment {
+                DeviceAssignment::HubAware if p.first_vertex < num_hub_vertices => {
+                    let dev = dealt % d;
+                    dealt += 1;
+                    dev
+                }
+                _ => plan.least_loaded(),
+            };
+            plan.device_of[p.id as usize] = dev;
+            plan.loads[dev as usize] += p.num_edges();
+        }
+        plan
+    }
+
+    /// A trivial single-device plan (every partition on device 0).
+    pub fn single(parts: &PartitionSet) -> DevicePlan {
+        DevicePlan::build(parts, 1, DeviceAssignment::EdgeBalanced, 0)
+    }
+
+    /// Device with the least accumulated edge load, ties to the lowest id.
+    fn least_loaded(&self) -> u32 {
+        let mut best = 0u32;
+        for d in 1..self.num_devices {
+            if self.loads[d as usize] < self.loads[best as usize] {
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Number of devices (≥ 1).
+    pub fn num_devices(&self) -> u32 {
+        self.num_devices
+    }
+
+    /// Which device owns partition `pid`.
+    #[inline]
+    pub fn device_of(&self, pid: u32) -> u32 {
+        self.device_of[pid as usize]
+    }
+
+    /// Accumulated edge count on device `d`.
+    pub fn load(&self, d: u32) -> u64 {
+        self.loads[d as usize]
+    }
+
+    /// Partition ids owned by device `d`, ascending.
+    pub fn partitions_on(&self, d: u32) -> Vec<u32> {
+        (0..self.device_of.len() as u32).filter(|&p| self.device_of[p as usize] == d).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +345,79 @@ mod tests {
         let ps = PartitionSet::build(&g, u64::MAX / 2);
         assert_eq!(ps.len(), 1);
         assert_eq!(ps.get(0).num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn device_plan_covers_every_partition_exactly_once() {
+        let g = generators::rmat(10, 8.0, 3, true);
+        let ps = PartitionSet::build_count(&g, 16);
+        for d in [1u32, 2, 4, 8] {
+            let plan = DevicePlan::build(&ps, d, DeviceAssignment::EdgeBalanced, 0);
+            assert_eq!(plan.num_devices(), d);
+            let mut seen: Vec<u32> = (0..d).flat_map(|dev| plan.partitions_on(dev)).collect();
+            seen.sort_unstable();
+            let want: Vec<u32> = (0..ps.len() as u32).collect();
+            assert_eq!(seen, want);
+            let load_sum: u64 = (0..d).map(|dev| plan.load(dev)).sum();
+            assert_eq!(load_sum, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn edge_balanced_loads_stay_close() {
+        let g = generators::erdos_renyi(4096, 65_536, 1, false);
+        let ps = PartitionSet::build_count(&g, 32);
+        let plan = DevicePlan::build(&ps, 4, DeviceAssignment::EdgeBalanced, 0);
+        let max_part = ps.partitions().iter().map(Partition::num_edges).max().unwrap();
+        let loads: Vec<u64> = (0..4).map(|d| plan.load(d)).collect();
+        let (lo, hi) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        // Greedy least-loaded keeps the spread within one partition.
+        assert!(hi - lo <= max_part, "loads {loads:?}, max partition {max_part}");
+    }
+
+    #[test]
+    fn hub_aware_spreads_the_hub_prefix() {
+        let g = generators::rmat(10, 8.0, 5, true);
+        let ps = PartitionSet::build_count(&g, 16);
+        // Pretend the first 4 partitions' vertex prefix is hubs.
+        let num_hubs = ps.get(3).end_vertex;
+        let plan = DevicePlan::build(&ps, 4, DeviceAssignment::HubAware, num_hubs);
+        let hub_devices: Vec<u32> = (0..4).map(|p| plan.device_of(p)).collect();
+        let mut sorted = hub_devices.clone();
+        sorted.sort_unstable();
+        // One hub partition per device.
+        assert_eq!(sorted, vec![0, 1, 2, 3], "hub partitions on {hub_devices:?}");
+    }
+
+    #[test]
+    fn hub_aware_without_hubs_equals_edge_balanced() {
+        let g = generators::rmat(9, 6.0, 7, false);
+        let ps = PartitionSet::build_count(&g, 12);
+        let a = DevicePlan::build(&ps, 3, DeviceAssignment::HubAware, 0);
+        let b = DevicePlan::build(&ps, 3, DeviceAssignment::EdgeBalanced, 0);
+        for p in 0..ps.len() as u32 {
+            assert_eq!(a.device_of(p), b.device_of(p));
+        }
+    }
+
+    #[test]
+    fn single_device_plan_puts_everything_on_device_zero() {
+        let g = generators::rmat(8, 4.0, 1, false);
+        let ps = PartitionSet::build(&g, 1024);
+        let plan = DevicePlan::single(&ps);
+        assert_eq!(plan.num_devices(), 1);
+        for p in 0..ps.len() as u32 {
+            assert_eq!(plan.device_of(p), 0);
+        }
+        assert_eq!(plan.load(0), g.num_edges());
+    }
+
+    #[test]
+    fn more_devices_than_partitions_leaves_spares_idle() {
+        let g = generators::chain(4, false);
+        let ps = PartitionSet::build(&g, u64::MAX / 2); // one partition
+        let plan = DevicePlan::build(&ps, 8, DeviceAssignment::EdgeBalanced, 0);
+        assert_eq!(plan.device_of(0), 0);
+        assert_eq!((1..8).map(|d| plan.load(d)).sum::<u64>(), 0);
     }
 }

@@ -25,6 +25,9 @@ pub struct TransferCounters {
     pub compaction_bytes: u64,
     /// Kernel launches.
     pub kernel_launches: u64,
+    /// Bytes moved by the inter-device frontier/value all-to-all exchange
+    /// (0 on single-device runs).
+    pub exchange_bytes: u64,
 }
 
 impl TransferCounters {
@@ -33,9 +36,10 @@ impl TransferCounters {
         Self::default()
     }
 
-    /// All bytes that crossed the bus, any mechanism.
+    /// All bytes that crossed the bus, any mechanism (edge data plus the
+    /// multi-device frontier exchange).
     pub fn total_transfer_bytes(&self) -> u64 {
-        self.explicit_bytes + self.zero_copy_bytes + self.um_bytes
+        self.explicit_bytes + self.zero_copy_bytes + self.um_bytes + self.exchange_bytes
     }
 
     /// Transfer volume normalised to the graph's edge-data volume
@@ -54,6 +58,7 @@ impl TransferCounters {
         self.kernel_edges += other.kernel_edges;
         self.compaction_bytes += other.compaction_bytes;
         self.kernel_launches += other.kernel_launches;
+        self.exchange_bytes += other.exchange_bytes;
     }
 }
 
@@ -77,6 +82,15 @@ mod tests {
     fn ratio_handles_zero_edges() {
         let c = TransferCounters { explicit_bytes: 10, ..Default::default() };
         assert!((c.transfer_ratio(0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exchange_bytes_count_toward_totals_and_merge() {
+        let mut a =
+            TransferCounters { exchange_bytes: 96, explicit_bytes: 4, ..Default::default() };
+        assert_eq!(a.total_transfer_bytes(), 100);
+        a.merge(&TransferCounters { exchange_bytes: 4, ..Default::default() });
+        assert_eq!(a.exchange_bytes, 100);
     }
 
     #[test]

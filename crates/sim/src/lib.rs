@@ -25,11 +25,14 @@
 //! * [`streams`] — a discrete-event timeline of CUDA-stream semantics:
 //!   per-stream ordering, three contended resources (PCIe, GPU compute,
 //!   CPU compaction pool), and makespan extraction (Fig. 6).
+//! * [`multi`] — the multi-device generalisation: per-device streams and
+//!   kernel engines behind one shared bus and one host compaction pool.
 //! * [`clock`] — transfer/volume counters used by Table VI.
 
 pub mod clock;
 pub mod gpu;
 pub mod kernel;
+pub mod multi;
 pub mod pcie;
 pub mod streams;
 pub mod um;
@@ -37,8 +40,9 @@ pub mod um;
 pub use clock::TransferCounters;
 pub use gpu::{GpuModel, MachineModel};
 pub use kernel::KernelModel;
+pub use multi::{MultiGpuSim, MultiTimeline};
 pub use pcie::PcieModel;
-pub use streams::{Phase, SimTask, StreamSim, Timeline};
+pub use streams::{Phase, PhaseSpan, Resource, SimTask, StreamSim, Timeline};
 pub use um::{UmCache, UmModel};
 
 /// Simulated time in seconds. All model arithmetic is pure `f64`; identical

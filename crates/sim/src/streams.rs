@@ -94,6 +94,33 @@ impl SimTask {
     }
 }
 
+/// A contended resource of the simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Host-side compaction pool (serialises with itself).
+    Cpu,
+    /// The host–device bus (one DMA direction).
+    Pcie,
+    /// GPU compute (kernels serialise).
+    Gpu,
+}
+
+/// One resource-occupation interval of one task phase. Fused zero-copy
+/// phases emit two spans (bus + GPU) over the same interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseSpan {
+    /// Index of the task in the scheduled input list.
+    pub task: usize,
+    /// Which resource the phase held.
+    pub resource: Resource,
+    /// Occupation start.
+    pub start: SimTime,
+    /// Occupation end.
+    pub end: SimTime,
+    /// True when the span belongs to a fused (zero-copy) phase.
+    pub fused: bool,
+}
+
 /// Completed-schedule report.
 #[derive(Clone, Debug, Default)]
 pub struct Timeline {
@@ -107,6 +134,10 @@ pub struct Timeline {
     pub cpu_busy: SimTime,
     /// Per-task `(label, start, end)` spans in input order.
     pub spans: Vec<(String, SimTime, SimTime)>,
+    /// Per-phase resource occupations, in schedule order — the audit trail
+    /// the timeline-invariant tests check (exclusive resources must never
+    /// overlap; fused phases hold bus and GPU for the same interval).
+    pub phase_spans: Vec<PhaseSpan>,
 }
 
 impl Timeline {
@@ -136,7 +167,7 @@ impl StreamSim {
         let mut gpu_free = 0.0f64;
         let mut cpu_free = 0.0f64;
         let mut tl = Timeline::default();
-        for task in tasks {
+        for (tid, task) in tasks.iter().enumerate() {
             // Deal to the earliest-available stream (stable tie-break).
             let (sid, _) = stream_free
                 .iter()
@@ -155,24 +186,30 @@ impl StreamSim {
                     Phase::Fused { .. } => cursor.max(pcie_free).max(gpu_free),
                 };
                 let end = start + dur;
+                let span = |resource, fused| PhaseSpan { task: tid, resource, start, end, fused };
                 match phase {
                     Phase::Cpu(t) => {
                         cpu_free = end;
                         tl.cpu_busy += t;
+                        tl.phase_spans.push(span(Resource::Cpu, false));
                     }
                     Phase::Transfer(t) => {
                         pcie_free = end;
                         tl.pcie_busy += t;
+                        tl.phase_spans.push(span(Resource::Pcie, false));
                     }
                     Phase::Kernel(t) => {
                         gpu_free = end;
                         tl.gpu_busy += t;
+                        tl.phase_spans.push(span(Resource::Gpu, false));
                     }
                     Phase::Fused { transfer, kernel } => {
                         pcie_free = end;
                         gpu_free = end;
                         tl.pcie_busy += transfer;
                         tl.gpu_busy += kernel;
+                        tl.phase_spans.push(span(Resource::Pcie, true));
+                        tl.phase_spans.push(span(Resource::Gpu, true));
                     }
                 }
                 if first {

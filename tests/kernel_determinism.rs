@@ -1,0 +1,139 @@
+//! Kernel determinism: the static thread-split claim of
+//! `crates/core/src/kernel.rs`.
+//!
+//! `run_kernel` splits the active list into contiguous chunks, one scoped
+//! thread each, with every write going through an atomic CAS fold. For a
+//! commutative program with snapshot (sync) seeds, the delivered message
+//! multiset is fixed before the kernel starts, so **values and stats must
+//! be bit-identical for every thread count** — there is nothing left for
+//! scheduling to decide. These tests pin that guarantee across
+//! `threads ∈ {1, 2, 8}` on several graph shapes, including the stats
+//! (`edges_processed` is the active out-degree sum; `updates` and
+//! `activations` are determined because each receiver sees at most one
+//! improving message on these fixtures).
+
+use hytgraph::core::api::{EdgeCtx, InitialFrontier, Values, VertexProgram};
+use hytgraph::core::kernel::{run_kernel, EdgeSource, KernelStats};
+use hytgraph::graph::generators;
+use hytgraph::graph::{Csr, Frontier, VertexId};
+
+/// Min-fold relaxation: commutative and idempotent (SSSP-shaped).
+struct MinRelax;
+impl VertexProgram for MinRelax {
+    type Value = u32;
+    const NEEDS_WEIGHTS: bool = true;
+    fn init(&self, v: VertexId) -> u32 {
+        if v == 0 {
+            0
+        } else {
+            u32::MAX
+        }
+    }
+    fn initial_frontier(&self) -> InitialFrontier {
+        InitialFrontier::Set(vec![0])
+    }
+    fn message(&self, seed: u32, ctx: EdgeCtx) -> Option<u32> {
+        (seed != u32::MAX).then(|| seed.saturating_add(ctx.weight))
+    }
+    fn accumulate(&self, state: u32, msg: u32) -> Option<u32> {
+        (msg < state).then_some(msg)
+    }
+}
+
+/// One sync-seeded sweep over `active`; returns (values, frontier, stats).
+fn sweep(g: &Csr, active: &[VertexId], threads: usize) -> (Vec<u32>, Vec<VertexId>, KernelStats) {
+    let nv = g.num_vertices();
+    let values = Values::init(&MinRelax, nv);
+    let next = Frontier::new(nv);
+    let snap = values.snapshot();
+    let stats =
+        run_kernel(&MinRelax, EdgeSource::Csr(g), active, &values, &next, Some(&snap), threads);
+    (values.snapshot(), next.to_vec(), stats)
+}
+
+#[test]
+fn star_scatter_identical_across_thread_counts() {
+    // Hub 0 fans out to 999 spokes: every receiver gets exactly one
+    // message, so stats are fully determined.
+    let g = generators::star(1000, true);
+    let active: Vec<u32> = (0..g.num_vertices()).collect();
+    let base = sweep(&g, &active, 1);
+    for threads in [2usize, 8] {
+        assert_eq!(sweep(&g, &active, threads), base, "threads = {threads}");
+    }
+    assert_eq!(base.2.edges_processed, 999);
+    assert_eq!(base.2.activations, 999);
+}
+
+#[test]
+fn chain_relaxation_identical_across_thread_counts() {
+    let g = generators::chain(4096, true);
+    let active: Vec<u32> = (0..g.num_vertices()).collect();
+    let base = sweep(&g, &active, 1);
+    for threads in [2usize, 8] {
+        assert_eq!(sweep(&g, &active, threads), base, "threads = {threads}");
+    }
+}
+
+#[test]
+fn multi_round_snapshot_sweeps_identical_on_random_graph() {
+    // RMAT has receivers with in-degree > 1, so `updates` could depend on
+    // delivery order within one round — values must not. Run three
+    // snapshot rounds and compare the value arrays bit-for-bit.
+    let g = generators::rmat(11, 8.0, 5, true);
+    let nv = g.num_vertices();
+    let active: Vec<u32> = (0..nv).collect();
+    let run = |threads: usize| {
+        let values = Values::init(&MinRelax, nv);
+        let next = Frontier::new(nv);
+        let mut edges = 0u64;
+        for _ in 0..3 {
+            let snap = values.snapshot();
+            let s = run_kernel(
+                &MinRelax,
+                EdgeSource::Csr(&g),
+                &active,
+                &values,
+                &next,
+                Some(&snap),
+                threads,
+            );
+            edges += s.edges_processed;
+        }
+        (values.snapshot(), edges)
+    };
+    let (v1, e1) = run(1);
+    for threads in [2usize, 8] {
+        let (v, e) = run(threads);
+        assert_eq!(v, v1, "values diverged at threads = {threads}");
+        // Processed-edge counts are the active out-degree sum: exact.
+        assert_eq!(e, e1);
+    }
+}
+
+#[test]
+fn compacted_source_is_equally_deterministic() {
+    let g = generators::rmat(10, 6.0, 9, true);
+    let active: Vec<u32> = (0..g.num_vertices()).step_by(2).collect();
+    let compacted = hytgraph::engines::compaction::compact(&g, &active, 4);
+    let nv = g.num_vertices();
+    let run = |threads: usize| {
+        let values = Values::init(&MinRelax, nv);
+        let next = Frontier::new(nv);
+        let snap = values.snapshot();
+        let stats = run_kernel(
+            &MinRelax,
+            EdgeSource::Compacted(&compacted),
+            &active,
+            &values,
+            &next,
+            Some(&snap),
+            threads,
+        );
+        (values.snapshot(), next.to_vec(), stats)
+    };
+    let base = run(1);
+    for threads in [2usize, 8] {
+        assert_eq!(run(threads), base, "threads = {threads}");
+    }
+}

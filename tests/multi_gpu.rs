@@ -1,0 +1,200 @@
+//! Differential tests for multi-GPU sharded execution.
+//!
+//! The sharding contract (ISSUE 2): for any device count `D`, the runner
+//! must produce values and a convergence-iteration count **bit-identical**
+//! to the `D = 1` run — sharding may only change the timeline. These tests
+//! hold the runner to that with fixed mid-size graphs, a proptest sweep
+//! over random graphs, and the sequential oracles as ground truth.
+//!
+//! Bit-identity claims run with `threads: 1`: single-threaded host kernels
+//! are fully deterministic, so any value difference is a real sharding bug
+//! and not a benign float/fold race. Default-thread runs are additionally
+//! checked against the oracles (exact for the monotone integer
+//! algorithms).
+
+use hytgraph::algos::reference;
+use hytgraph::core::{HyTGraphConfig, HyTGraphSystem, SystemKind};
+use hytgraph::graph::generators;
+use hytgraph::graph::DeviceAssignment;
+use hytgraph::prelude::*;
+use proptest::prelude::*;
+
+/// HyTGraph preset sharded over `d` devices, single-threaded host kernels.
+fn sharded_config(d: usize, assignment: DeviceAssignment) -> HyTGraphConfig {
+    let mut cfg = SystemKind::HyTGraph.configure(HyTGraphConfig::default());
+    cfg.num_devices = d;
+    cfg.device_assignment = assignment;
+    cfg.threads = 1;
+    cfg
+}
+
+/// Run `program` on `g` with `d` devices; return (values, iterations,
+/// total simulated time, exchange bytes).
+fn run_with<P: hytgraph::core::api::VertexProgram>(
+    g: &Csr,
+    d: usize,
+    assignment: DeviceAssignment,
+    program: P,
+) -> (Vec<P::Value>, u32, f64, u64) {
+    let mut sys = HyTGraphSystem::new(g.clone(), sharded_config(d, assignment));
+    let r = sys.run(program);
+    (r.values, r.iterations, r.total_time, r.counters.exchange_bytes)
+}
+
+#[test]
+fn all_four_algorithms_bit_identical_across_device_counts() {
+    let g = generators::rmat(11, 10.0, 42, true);
+    let assign = DeviceAssignment::EdgeBalanced;
+
+    let (sssp1, si1, _, x1) = run_with(&g, 1, assign, Sssp::from_source(0));
+    assert_eq!(x1, 0, "single-device runs must not pay the exchange");
+    assert_eq!(sssp1, reference::dijkstra(&g, 0));
+    let (bfs1, bi1, _, _) = run_with(&g, 1, assign, Bfs::from_source(0));
+    assert_eq!(bfs1, reference::bfs_depths(&g, 0));
+    let (cc1, ci1, _, _) = run_with(&g, 1, assign, Cc::new());
+    assert_eq!(cc1, reference::cc_labels(&g));
+    let pr1 = {
+        let mut sys = HyTGraphSystem::new(g.clone(), sharded_config(1, assign));
+        let r = sys.run(PageRank::new());
+        (PageRank::ranks(&r), r.iterations)
+    };
+
+    for d in [2usize, 4, 8] {
+        let (sssp, si, _, sx) = run_with(&g, d, assign, Sssp::from_source(0));
+        assert_eq!((sssp, si), (sssp1.clone(), si1), "SSSP diverged at D={d}");
+        assert!(sx > 0, "multi-device SSSP run never exchanged frontiers");
+        let (bfs, bi, _, _) = run_with(&g, d, assign, Bfs::from_source(0));
+        assert_eq!((bfs, bi), (bfs1.clone(), bi1), "BFS diverged at D={d}");
+        let (cc, ci, _, _) = run_with(&g, d, assign, Cc::new());
+        assert_eq!((cc, ci), (cc1.clone(), ci1), "CC diverged at D={d}");
+        let mut sys = HyTGraphSystem::new(g.clone(), sharded_config(d, assign));
+        let r = sys.run(PageRank::new());
+        assert_eq!((PageRank::ranks(&r), r.iterations), pr1.clone(), "PageRank diverged at D={d}");
+    }
+}
+
+#[test]
+fn hub_aware_assignment_is_also_value_transparent() {
+    let g = generators::rmat(11, 8.0, 7, true);
+    let (base, i1, _, _) = run_with(&g, 1, DeviceAssignment::EdgeBalanced, Sssp::from_source(0));
+    for d in [2usize, 4] {
+        let (v, i, _, _) = run_with(&g, d, DeviceAssignment::HubAware, Sssp::from_source(0));
+        assert_eq!((v, i), (base.clone(), i1), "hub-aware D={d}");
+    }
+}
+
+#[test]
+fn default_thread_runs_still_match_oracles_when_sharded() {
+    // With the default host parallelism the monotone integer algorithms
+    // must still land exactly on the oracle fixpoint at any device count.
+    let g = generators::rmat(12, 12.0, 99, true);
+    let mut cfg = SystemKind::HyTGraph.configure(HyTGraphConfig::default());
+    cfg.num_devices = 4;
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg.clone());
+    assert_eq!(sys.run(Sssp::from_source(0)).values, reference::dijkstra(&g, 0));
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+    assert_eq!(sys.run(Cc::new()).values, reference::cc_labels(&g));
+}
+
+#[test]
+fn per_device_stats_partition_the_iteration() {
+    let g = generators::rmat(11, 10.0, 3, true);
+    let d = 4usize;
+    let mut sys = HyTGraphSystem::new(g.clone(), sharded_config(d, DeviceAssignment::EdgeBalanced));
+    let r = sys.run(Sssp::from_source(0));
+    for it in &r.per_iteration {
+        assert_eq!(it.per_device.len(), d);
+        let mix_total: u32 = it.per_device.iter().map(|ds| ds.mix.total()).sum();
+        assert_eq!(mix_total, it.mix.total(), "device mixes must tile the global mix");
+        let task_total: u32 = it.per_device.iter().map(|ds| ds.tasks).sum();
+        assert_eq!(task_total, it.tasks);
+        for ds in &it.per_device {
+            assert!(
+                ds.time <= it.time + 1e-12,
+                "device {} makespan {} exceeds iteration time {}",
+                ds.device,
+                ds.time,
+                it.time
+            );
+        }
+        assert!(it.exchange_time >= 0.0);
+    }
+}
+
+#[test]
+fn idle_devices_pay_no_exchange() {
+    // A graph small enough for one partition: 7 of the 8 "devices" own no
+    // shard, so there are no peers and the exchange must stay zero.
+    let g = generators::chain(64, true);
+    let mut cfg = sharded_config(8, DeviceAssignment::EdgeBalanced);
+    cfg.partition_bytes = 1 << 20; // everything fits one partition
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+    assert_eq!(sys.num_partitions(), 1);
+    let r = sys.run(Sssp::from_source(0));
+    assert_eq!(r.counters.exchange_bytes, 0);
+    assert_eq!(r.values, reference::dijkstra(&g, 0));
+}
+
+#[test]
+fn sharded_baseline_systems_keep_oracle_results() {
+    // The stateful residency baselines (per-device UM caches, per-device
+    // Grus budgets) must stay correct when their device memory is carved
+    // up.
+    let g = generators::rmat(11, 8.0, 21, true);
+    let oracle = reference::dijkstra(&g, 0);
+    for kind in [SystemKind::ImpUnified, SystemKind::Grus, SystemKind::Emogi, SystemKind::Subway] {
+        let mut cfg = kind.configure(HyTGraphConfig::default());
+        cfg.num_devices = 4;
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        let r = sys.run(Sssp::from_source(0));
+        assert_eq!(r.values, oracle, "{} diverged when sharded", kind.name());
+    }
+}
+
+/// Strategy: seeded weighted RMAT graphs spanning several partitions.
+fn arb_rmat() -> impl Strategy<Value = Csr> {
+    (8u32..=10, 4u64..=10, 0u64..1_000)
+        .prop_map(|(scale, deg, seed)| generators::rmat(scale, deg as f64, seed, true))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_graphs_bit_identical_for_every_algorithm(
+        g in arb_rmat(),
+        d in 2usize..=4,
+        hub_aware in any::<bool>(),
+    ) {
+        let assign = if hub_aware { DeviceAssignment::HubAware } else { DeviceAssignment::EdgeBalanced };
+        let src = (0..g.num_vertices()).max_by_key(|&v| g.out_degree(v)).unwrap_or(0);
+
+        let (s1, si1, _, _) = run_with(&g, 1, assign, Sssp::from_source(src));
+        let (sd, sid, _, _) = run_with(&g, d, assign, Sssp::from_source(src));
+        prop_assert_eq!(&sd, &s1);
+        prop_assert_eq!(sid, si1);
+        prop_assert_eq!(&s1, &reference::dijkstra(&g, src));
+
+        let (b1, bi1, _, _) = run_with(&g, 1, assign, Bfs::from_source(src));
+        let (bd, bid, _, _) = run_with(&g, d, assign, Bfs::from_source(src));
+        prop_assert_eq!(&bd, &b1);
+        prop_assert_eq!(bid, bi1);
+        prop_assert_eq!(&b1, &reference::bfs_depths(&g, src));
+
+        let (c1, ci1, _, _) = run_with(&g, 1, assign, Cc::new());
+        let (cd, cid, _, _) = run_with(&g, d, assign, Cc::new());
+        prop_assert_eq!(&cd, &c1);
+        prop_assert_eq!(cid, ci1);
+        prop_assert_eq!(&c1, &reference::cc_labels(&g));
+
+        let run_pr = |dd: usize| {
+            let mut sys = HyTGraphSystem::new(g.clone(), sharded_config(dd, assign));
+            let r = sys.run(PageRank::new());
+            (PageRank::ranks(&r), r.iterations)
+        };
+        let (p1, pi1) = run_pr(1);
+        let (pd, pid) = run_pr(d);
+        prop_assert_eq!(pd, p1);
+        prop_assert_eq!(pid, pi1);
+    }
+}

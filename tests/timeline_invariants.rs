@@ -1,0 +1,136 @@
+//! Invariant tests for the stream timeline simulators.
+//!
+//! The discrete-event schedulers back every runtime number the harness
+//! reports, so their physical invariants get property coverage:
+//!
+//! * the makespan is never shorter than any single resource's busy time;
+//! * exclusive resources (the PCIe bus, each GPU's kernel engine, the
+//!   host compaction pool) never hold two overlapping spans;
+//! * fused zero-copy phases occupy bus and GPU for the *same* interval;
+//! * the multi-device scheduler degenerates to `StreamSim` at `D = 1` and
+//!   keeps bus exclusivity *across* devices.
+
+use hytgraph::sim::{MultiGpuSim, Phase, PhaseSpan, Resource, SimTask, StreamSim, Timeline};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Strategy: one task of a random engine shape with millisecond-scale
+/// durations (integer tenths, so sums stay exactly representable).
+fn arb_task() -> impl Strategy<Value = SimTask> {
+    (0u8..4, 0u64..40, 0u64..40, 0u64..40).prop_map(|(shape, a, b, c)| {
+        let (a, b, c) = (a as f64 / 10.0, b as f64 / 10.0, c as f64 / 10.0);
+        match shape {
+            0 => SimTask::explicit("e", a, b),
+            1 => SimTask::compaction("c", a, b, c),
+            2 => SimTask::zero_copy("z", a, b),
+            _ => SimTask { label: "k".into(), phases: vec![Phase::Kernel(a)] },
+        }
+    })
+}
+
+fn assert_no_overlap(spans: &[PhaseSpan], resource: Resource, what: &str) {
+    let mut rs: Vec<&PhaseSpan> = spans.iter().filter(|s| s.resource == resource).collect();
+    rs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    for w in rs.windows(2) {
+        assert!(
+            w[1].start >= w[0].end - EPS,
+            "{what}: overlapping {resource:?} spans {:?} and {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+fn assert_timeline_invariants(tl: &Timeline, what: &str) {
+    assert!(tl.makespan >= tl.pcie_busy - EPS, "{what}: makespan < bus busy");
+    assert!(tl.makespan >= tl.gpu_busy - EPS, "{what}: makespan < gpu busy");
+    assert!(tl.makespan >= tl.cpu_busy - EPS, "{what}: makespan < cpu busy");
+    for r in [Resource::Cpu, Resource::Pcie, Resource::Gpu] {
+        assert_no_overlap(&tl.phase_spans, r, what);
+    }
+    // Fused phases: the bus span and the GPU span cover the same interval.
+    for s in tl.phase_spans.iter().filter(|s| s.fused && s.resource == Resource::Pcie) {
+        let twin = tl
+            .phase_spans
+            .iter()
+            .find(|t| {
+                t.fused && t.resource == Resource::Gpu && t.task == s.task && t.start == s.start
+            })
+            .unwrap_or_else(|| panic!("{what}: fused bus span {s:?} has no GPU twin"));
+        assert_eq!(twin.end, s.end, "{what}: fused spans diverge");
+    }
+    for (_, start, end) in &tl.spans {
+        assert!(end >= start, "{what}: negative task span");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn stream_sim_invariants_hold(
+        tasks in proptest::collection::vec(arb_task(), 0..24),
+        streams in 1usize..6,
+    ) {
+        let tl = StreamSim::new(streams).schedule(&tasks);
+        assert_timeline_invariants(&tl, "StreamSim");
+        prop_assert_eq!(tl.spans.len(), tasks.len());
+    }
+
+    #[test]
+    fn multi_gpu_invariants_hold(
+        lists in proptest::collection::vec(proptest::collection::vec(arb_task(), 0..10), 1..5),
+        streams in 1usize..4,
+    ) {
+        let nd = lists.len();
+        let tl = MultiGpuSim::new(nd, streams).schedule(&lists);
+        // Per-device timelines obey the single-device invariants.
+        for (d, dev) in tl.per_device.iter().enumerate() {
+            assert_timeline_invariants(dev, &format!("device {d}"));
+            prop_assert!(tl.makespan >= dev.makespan - EPS);
+        }
+        // The shared bus serialises across devices, not just within one.
+        let mut bus = tl.bus_spans.clone();
+        bus.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for w in bus.windows(2) {
+            prop_assert!(w[1].1 >= w[0].2 - EPS, "cross-device bus overlap: {:?} / {:?}", w[0], w[1]);
+        }
+        // Shared totals are the per-device sums.
+        let bus_sum: f64 = tl.per_device.iter().map(|t| t.pcie_busy).sum();
+        prop_assert!((tl.bus_busy - bus_sum).abs() < EPS);
+        prop_assert!(tl.makespan >= tl.bus_busy - EPS);
+        prop_assert!(tl.makespan >= tl.cpu_busy - EPS);
+    }
+
+    #[test]
+    fn single_device_multi_sim_equals_stream_sim(
+        tasks in proptest::collection::vec(arb_task(), 0..16),
+        streams in 1usize..5,
+    ) {
+        let single = StreamSim::new(streams).schedule(&tasks);
+        let multi = MultiGpuSim::new(1, streams).schedule(&[tasks]);
+        prop_assert_eq!(multi.makespan, single.makespan);
+        prop_assert_eq!(multi.per_device[0].phase_spans.clone(), single.phase_spans);
+        prop_assert_eq!(multi.bus_busy, single.pcie_busy);
+        prop_assert_eq!(multi.cpu_busy, single.cpu_busy);
+        prop_assert_eq!(multi.gpu_busy_total(), single.gpu_busy);
+    }
+}
+
+#[test]
+fn fused_phase_holds_bus_and_gpu_for_identical_interval() {
+    // Deterministic version of the fused invariant with asymmetric times:
+    // wall interval is max(transfer, kernel) on both resources.
+    let tl = StreamSim::new(2).schedule(&[SimTask::zero_copy("z", 5.0, 2.0)]);
+    let pcie: Vec<_> = tl.phase_spans.iter().filter(|s| s.resource == Resource::Pcie).collect();
+    let gpu: Vec<_> = tl.phase_spans.iter().filter(|s| s.resource == Resource::Gpu).collect();
+    assert_eq!(pcie.len(), 1);
+    assert_eq!(gpu.len(), 1);
+    assert_eq!((pcie[0].start, pcie[0].end), (gpu[0].start, gpu[0].end));
+    assert_eq!(pcie[0].end, 5.0);
+    assert!(pcie[0].fused && gpu[0].fused);
+    // Busy accounting still records the true demand, not the wall interval.
+    assert_eq!(tl.pcie_busy, 5.0);
+    assert_eq!(tl.gpu_busy, 2.0);
+}
