@@ -245,6 +245,76 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         ));
     }
 
+    // ISSUE 3: NVLink-style peer links strictly shrink the frontier
+    // exchange. On a generated power-law graph, the ring topology must
+    // beat host-only at D in {4, 8} while values and iterations stay
+    // identical (routing may only change the timeline).
+    {
+        // Large enough that all 8 devices own shards (>= 8 partitions at
+        // the default 32 KB budget), so D = 8 is a real 8-way exchange.
+        let g = hyt_graph::generators::power_law_preferential(1 << 14, 12.0, 2.2, 7, true);
+        let src = crate::context::source_vertex(&g);
+        let run = |d: usize, topo: hyt_core::TopologyKind| {
+            let mut cfg = SystemKind::HyTGraph.configure(base_config());
+            cfg.num_devices = d;
+            cfg.topology = topo;
+            cfg.threads = 1;
+            let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg);
+            let r = sys.run(hyt_algos::Sssp::from_source(src));
+            let exchange: f64 = r.per_iteration.iter().map(|it| it.exchange.time).sum();
+            (r.values, r.iterations, exchange)
+        };
+        let mut pass = true;
+        let mut evidence = String::new();
+        for d in [4usize, 8] {
+            let (vh, ih, xh) = run(d, hyt_core::TopologyKind::HostOnly);
+            let (vr, ir, xr) = run(d, hyt_core::TopologyKind::Ring);
+            pass &= xr < xh && vh == vr && ih == ir;
+            evidence.push_str(&format!(
+                "D={d}: exchange {:.3}ms -> ring {:.3}ms, values/iters match: {}; ",
+                xh * 1e3,
+                xr * 1e3,
+                vh == vr && ih == ir
+            ));
+        }
+        out.push(CheckResult::new(
+            "Interconnect: ring topology strictly cuts exchange time at D in {4,8}",
+            pass,
+            evidence,
+        ));
+    }
+
+    // ISSUE 3: contention-aware selection shifts the ZC/filter crossover
+    // with the device count — sharing the host link 8 ways must flip at
+    // least one partition-iteration from filter to zero-copy.
+    {
+        let g = ctx.graph(DatasetId::Fs);
+        let mix_at = |d: usize| {
+            let mut cfg = SystemKind::HyTGraph.configure(base_config());
+            cfg.num_devices = d;
+            cfg.contention_aware_selection = true;
+            cfg.threads = 1;
+            let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg);
+            let r = sys.run(hyt_algos::Sssp::from_source(crate::context::source_vertex(&g)));
+            hyt_core::EngineMix::sum_over(&r.per_iteration)
+        };
+        let m1 = mix_at(1);
+        let m8 = mix_at(8);
+        let (f1, _, z1, _) = m1.fractions();
+        let (f8, _, z8, _) = m8.fractions();
+        out.push(CheckResult::new(
+            "Contention: 8-way link sharing moves the engine mix from filter toward zero-copy",
+            z8 > z1 && f8 < f1,
+            format!(
+                "D=1: {:.0}% E-F / {:.0}% I-ZC -> D=8: {:.0}% E-F / {:.0}% I-ZC",
+                f1 * 100.0,
+                z1 * 100.0,
+                f8 * 100.0,
+                z8 * 100.0
+            ),
+        ));
+    }
+
     // Fig 9: Grus degrades far faster than HyTGraph across the size sweep.
     {
         let sweep = hyt_graph::datasets::rmat_sweep();

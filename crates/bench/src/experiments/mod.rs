@@ -109,12 +109,12 @@ pub fn registry() -> Vec<Experiment> {
         },
         Experiment {
             name: "nvlink",
-            about: "extension: fast-interconnect sweep (Section VIII future work)",
+            about: "extension: bandwidth x topology sweep + contention-aware mix (Sec. VIII)",
             run: nvlink::run,
         },
         Experiment {
             name: "multigpu",
-            about: "extension: makespan scaling across D in {1,2,4,8} devices",
+            about: "extension: device-count scaling + interconnect topology exchange breakdown",
             run: multigpu::run,
         },
     ]

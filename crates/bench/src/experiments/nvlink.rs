@@ -1,26 +1,40 @@
-//! Extension: fast host-GPU interconnects (the paper's Section VIII
-//! future work).
+//! Extension: fast interconnects (the paper's Section VIII future work),
+//! now a **two-axis sweep**: link bandwidth × topology.
 //!
-//! NVLink-4 / CXL push the host link from 16 GB/s toward 450 GB/s. The
-//! paper conjectures the hybrid trade-offs shift there because transfer
-//! stops being the bottleneck. This experiment sweeps the link bandwidth
-//! on the FS proxy and reports (a) each pure engine's runtime and (b) the
-//! engine mix HyTGraph's cost model settles on.
+//! NVLink-4 / CXL push links from 16 GB/s toward 450 GB/s, and multi-GPU
+//! hosts add direct peer links beside the PCIe root complex. The sweep
+//! runs SSSP on the FS proxy over both axes:
 //!
-//! Finding: the runtimes shift as expected (bandwidth-bound engines gain
-//! ~linearly; Subway's CPU compaction becomes the floor), but the engine
-//! *mix is invariant* — formulas (1)–(3) compare TLP counts in RTT units,
-//! and RTT cancels, so the selection is blind to absolute bandwidth. On a
-//! 450 GB/s link the kernel, not the bus, limits dense phases, and EMOGI
-//! overtakes HyTGraph. This is precisely the gap the paper's Section VIII
-//! names: fast interconnects need main-memory access cost in the model.
+//! * **axis 1 — link generation**: the host link *and* the peer links
+//!   run at the swept nominal bandwidth (one interconnect generation at
+//!   a time);
+//! * **axis 2 — topology**: host-only / ring / all-to-all at `D = 4`
+//!   devices, with contention-aware engine selection on.
+//!
+//! Three findings the tables show:
+//!
+//! 1. runtimes scale with bandwidth, but on a single device the engine
+//!    *mix* is invariant — formulas (1)–(3) compare TLP counts in RTT
+//!    units and RTT cancels (the original nvlink finding, kept as the
+//!    baseline table);
+//! 2. with `D` devices sharing the root complex the contended cost model
+//!    *does* shift the mix toward zero-copy (the ZC/filter crossover
+//!    moves with contention, ROADMAP item 4) — compare the D=1 and D=8
+//!    mix rows;
+//! 3. peer topologies drain the exchange off the host link: the per-link
+//!    class breakdown shows host bytes collapsing to zero on the clique.
+//!
+//! Set `REPRO_SMOKE=1` to run a reduced sweep (2 bandwidths) in CI.
 
 use crate::context::{base_config, run_algo_with_config, Ctx};
 use crate::table::{pct, secs, Table};
 use hyt_algos::AlgoKind;
-use hyt_core::{EngineMix, HyTGraphConfig, SystemKind};
+use hyt_core::{EngineMix, HyTGraphConfig, LinkSpec, SystemKind, TopologyKind};
 use hyt_graph::DatasetId;
 use hyt_sim::{MachineModel, PcieModel, UmModel};
+
+/// Devices in the topology/contention axis.
+const SWEEP_DEVICES: usize = 4;
 
 /// A machine whose host link runs at `nominal_bw` (bytes/s), everything
 /// else the paper platform.
@@ -31,25 +45,49 @@ fn machine_with_link(nominal_bw: f64) -> MachineModel {
     m.scaled(crate::context::SCALE_SHIFT)
 }
 
-/// Sweep PCIe 3/4/5 and NVLink-class links on SSSP / FS.
+/// HyTGraph config for one sweep cell: host link and peer links at
+/// `nominal_bw`, the given topology across `d` devices, contended
+/// selection on.
+fn cell_config(nominal_bw: f64, topology: TopologyKind, d: usize) -> HyTGraphConfig {
+    let base = HyTGraphConfig {
+        machine: machine_with_link(nominal_bw),
+        peer_link: LinkSpec::with_nominal_bw(nominal_bw).scaled(crate::context::SCALE_SHIFT),
+        topology,
+        num_devices: d,
+        contention_aware_selection: true,
+        ..base_config()
+    };
+    SystemKind::HyTGraph.configure(base)
+}
+
+fn mix_of(per_iteration: &[hyt_core::IterationStats]) -> EngineMix {
+    EngineMix::sum_over(per_iteration)
+}
+
+/// Sweep link bandwidth × topology on SSSP / FS.
 pub fn run(ctx: &mut Ctx) -> Vec<Table> {
     let g = ctx.graph(DatasetId::Fs);
-    let links: [(&str, f64); 5] = [
+    let full: [(&str, f64); 5] = [
         ("PCIe3 16GB/s", 16.0e9),
         ("PCIe4 32GB/s", 32.0e9),
         ("PCIe5 64GB/s", 64.0e9),
         ("NVLink 200GB/s", 200.0e9),
         ("NVLink4 450GB/s", 450.0e9),
     ];
+    let smoke = std::env::var("REPRO_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let links: &[(&str, f64)] = if smoke { &full[..2] } else { &full };
+
+    // Baseline: the original single-device sweep — runtimes shift, the
+    // mix does not (RTT cancels in formulas (1)-(3)).
     let mut runtime = Table::new(
-        "Extension: interconnect sweep, SSSP on FS (runtime)",
+        "Extension: interconnect sweep, SSSP on FS (runtime, D=1 baselines)",
         &["link", "ExpTM-F", "Subway", "EMOGI", "HyTGraph"],
     );
-    let mut mix = Table::new(
-        "Extension: interconnect sweep - HyTGraph engine mix (partition-iterations)",
+    let mut base_mix = Table::new(
+        "Extension: HyTGraph engine mix vs link bandwidth (D=1: invariant, RTT cancels)",
         &["link", "E-F", "E-C", "I-ZC"],
     );
-    for (label, bw) in links {
+    for &(label, bw) in links {
         let base = HyTGraphConfig { machine: machine_with_link(bw), ..base_config() };
         let mut row = vec![label.to_string()];
         for sys in [SystemKind::ExpFilter, SystemKind::Subway, SystemKind::Emogi] {
@@ -60,14 +98,69 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
         let m = run_algo_with_config(SystemKind::HyTGraph, AlgoKind::Sssp, &g, cfg);
         row.push(secs(m.total_time));
         runtime.row(row);
-        let mut total = EngineMix::default();
-        for it in &m.per_iteration {
-            total.filter += it.mix.filter;
-            total.compaction += it.mix.compaction;
-            total.zero_copy += it.mix.zero_copy;
-        }
-        let (f, c, z, _) = total.fractions();
-        mix.row(vec![label.to_string(), pct(f), pct(c), pct(z)]);
+        let (f, c, z, _) = mix_of(&m.per_iteration).fractions();
+        base_mix.row(vec![label.to_string(), pct(f), pct(c), pct(z)]);
     }
-    vec![runtime, mix]
+
+    // Two-axis grid: bandwidth x topology at D = 4, contended selection.
+    let mut grid = Table::new(
+        format!(
+            "Extension: bandwidth x topology grid (HyTGraph SSSP on FS, D={SWEEP_DEVICES}, \
+             contention-aware)"
+        ),
+        &[
+            "link",
+            "topology",
+            "time",
+            "E-F",
+            "E-C",
+            "I-ZC",
+            "exch host",
+            "exch peer",
+            "host KB",
+            "peer KB",
+        ],
+    );
+    for &(label, bw) in links {
+        for topo in TopologyKind::ALL {
+            let cfg = cell_config(bw, topo, SWEEP_DEVICES);
+            let m = run_algo_with_config(SystemKind::HyTGraph, AlgoKind::Sssp, &g, cfg);
+            let (f, c, z, _) = mix_of(&m.per_iteration).fractions();
+            let (mut xh, mut xp, mut bh, mut bp) = (0.0, 0.0, 0u64, 0u64);
+            for it in &m.per_iteration {
+                xh += it.exchange.host_time;
+                xp += it.exchange.peer_time;
+                bh += it.exchange.host_bytes;
+                bp += it.exchange.peer_bytes;
+            }
+            grid.row(vec![
+                label.to_string(),
+                topo.name().to_string(),
+                secs(m.total_time),
+                pct(f),
+                pct(c),
+                pct(z),
+                secs(xh),
+                secs(xp),
+                format!("{:.1}", bh as f64 / 1024.0),
+                format!("{:.1}", bp as f64 / 1024.0),
+            ]);
+        }
+    }
+
+    // Contention axis: the engine mix vs device count on the paper's
+    // PCIe3 link — the ZC/filter crossover moves as D inflates the
+    // contended explicit-copy costs.
+    let mut contention = Table::new(
+        "Extension: engine mix vs device count (contention-aware selection, PCIe3, host-only)",
+        &["D", "E-F", "E-C", "I-ZC"],
+    );
+    for d in [1usize, 2, 4, 8] {
+        let cfg = cell_config(16.0e9, TopologyKind::HostOnly, d);
+        let m = run_algo_with_config(SystemKind::HyTGraph, AlgoKind::Sssp, &g, cfg);
+        let (f, c, z, _) = mix_of(&m.per_iteration).fractions();
+        contention.row(vec![d.to_string(), pct(f), pct(c), pct(z)]);
+    }
+
+    vec![runtime, base_mix, grid, contention]
 }

@@ -2,7 +2,7 @@
 
 use crate::select::{SelectParams, Selection};
 use hyt_graph::DeviceAssignment;
-use hyt_sim::MachineModel;
+use hyt_sim::{LinkSpec, MachineModel, TopologyKind};
 
 /// Scale shift shared with `hyt_graph::datasets`: datasets are 2¹⁰ smaller
 /// than the paper's, so partitions and device budgets shrink by the same
@@ -57,6 +57,24 @@ pub struct HyTGraphConfig {
     pub num_devices: usize,
     /// How partitions map to devices when `num_devices > 1`.
     pub device_assignment: DeviceAssignment,
+    /// Interconnect shape between the devices: host-only (every byte
+    /// staged through the shared PCIe root complex — the paper's
+    /// platform), or NVLink-style peer links in a ring / fully-connected
+    /// clique that the frontier exchange routes over.
+    pub topology: TopologyKind,
+    /// Bandwidth/latency of each peer link when `topology` has any.
+    pub peer_link: LinkSpec,
+    /// Overlap the inter-device frontier exchange with the next
+    /// iteration's cost analysis instead of pricing it as a post-barrier
+    /// serial segment (ROADMAP item 3). Off by default so the serial
+    /// baseline stays reproducible.
+    pub overlap_exchange: bool,
+    /// Inflate Algorithm 1's transfer costs by the number of devices
+    /// sharing the host link (see `PartitionCosts::under_contention`),
+    /// shifting the ZC/filter crossover with `D`. Off by default: the
+    /// contended costs change engine choices, so runs with different
+    /// device counts are no longer bit-comparable when this is on.
+    pub contention_aware_selection: bool,
     /// CUDA streams for the timeline simulator (per device).
     pub num_streams: usize,
     /// Host threads for real computation (kernels, compaction, analysis).
@@ -87,6 +105,10 @@ impl Default for HyTGraphConfig {
             async_mode: AsyncMode::Async { recompute: 1 },
             num_devices: 1,
             device_assignment: DeviceAssignment::EdgeBalanced,
+            topology: TopologyKind::HostOnly,
+            peer_link: LinkSpec::nvlink().scaled(SCALE_SHIFT),
+            overlap_exchange: false,
+            contention_aware_selection: false,
             num_streams: 4,
             threads: default_threads(),
             max_iterations: 10_000,
@@ -119,6 +141,18 @@ mod tests {
         assert!((c.hub_fraction - 0.08).abs() < 1e-12);
         assert_eq!(c.num_devices, 1, "the paper's platform is single-GPU");
         assert_eq!(c.device_assignment, DeviceAssignment::EdgeBalanced);
+        assert_eq!(c.topology, TopologyKind::HostOnly, "the paper's platform has no peer links");
+        assert!(!c.overlap_exchange, "the serial exchange is the reproducible baseline");
+        assert!(!c.contention_aware_selection, "contended costs are opt-in");
+        assert_eq!(c.select_params.contention, 1.0);
+    }
+
+    #[test]
+    fn default_peer_link_is_scaled_like_the_machine() {
+        let c = HyTGraphConfig::default();
+        let unscaled = LinkSpec::nvlink();
+        assert_eq!(c.peer_link.bandwidth, unscaled.bandwidth);
+        assert!((c.peer_link.latency - unscaled.latency / 1024.0).abs() < 1e-18);
     }
 
     #[test]

@@ -22,17 +22,23 @@
 //! task is *sliced* by owning device: each device prices its slice with
 //! its own engines (per-device unified-memory caches and Grus budgets of
 //! `edge_budget / D`) and schedules it on its own streams, while all
-//! devices contend for one shared PCIe bus and one host compaction pool
-//! ([`MultiGpuSim`]). Between iterations an explicit all-to-all publishes
-//! every device's newly-activated owned vertices (id + 64-bit value) to
-//! the peers, priced as explicit copies on the shared bus.
+//! devices contend for the configured [`Interconnect`]'s links and one
+//! host compaction pool ([`MultiGpuSim`]). Between iterations a routed
+//! all-gather publishes every device's newly-activated owned vertices
+//! (id + 64-bit value) to the peers: pairs with a direct NVLink-class
+//! peer link (`config.topology` ring / all-to-all) send on it, the rest
+//! stage through the host root complex; legs on disjoint links overlap.
+//! With `config.overlap_exchange` the exchange further hides under the
+//! next iteration's cost analysis instead of sitting after the barrier.
 //!
 //! Kernels still execute in the *global* contribution-driven priority
 //! order — the iteration barrier means device placement cannot change
 //! what one synchronised iteration computes, so values and convergence
-//! iteration are **bit-identical** for every device count; only the
-//! timeline (and its per-device breakdown) changes. The differential
-//! suite in `tests/multi_gpu.rs` holds the runner to that claim.
+//! iteration are **bit-identical** for every device count *and* every
+//! topology; only the timeline (and its per-device / per-link breakdown)
+//! changes. The exception is opt-in: `contention_aware_selection`
+//! deliberately changes engine choices with `D`. The differential suite
+//! in `tests/multi_gpu.rs` holds the runner to those claims.
 
 use crate::api::{InitialFrontier, Values, VertexProgram};
 use crate::combine::{combine_tasks, CombinedTask};
@@ -40,13 +46,13 @@ use crate::config::{AsyncMode, HyTGraphConfig};
 use crate::kernel::{run_kernel, EdgeSource};
 use crate::priority::order_tasks;
 use crate::select::{select_engines_sharded, DeviceBudgets, Selection};
-use crate::stats::{DeviceIterationStats, EngineMix, IterationStats, RunResult};
+use crate::stats::{DeviceIterationStats, EngineMix, ExchangeStats, IterationStats, RunResult};
 use hyt_engines::{
     analyze_partitions, compaction, filter, zero_copy, EngineKind, PartitionActivity, TaskPlan,
     UnifiedState,
 };
 use hyt_graph::{hub_sort, Csr, DevicePlan, Frontier, HubSortResult, PartitionSet, VertexId};
-use hyt_sim::{MultiGpuSim, SimTask, SimTime, TransferCounters};
+use hyt_sim::{ExchangeReport, Interconnect, MultiGpuSim, SimTask, TransferCounters};
 
 /// Per-iteration orchestration overhead (GPU-side cost analysis +
 /// selection result copy-back + frontier bookkeeping), expressed as a
@@ -76,6 +82,11 @@ pub struct HyTGraphSystem {
     hub: Option<HubSortResult>,
     parts: PartitionSet,
     devices: DevicePlan,
+    interconnect: Interconnect,
+    /// Devices that own at least one partition — they share the host
+    /// link, so they set the selection contention factor and are the
+    /// exchange participants.
+    shard_holders: Vec<bool>,
     config: HyTGraphConfig,
 }
 
@@ -106,7 +117,22 @@ impl HyTGraphSystem {
             config.device_assignment,
             num_hubs,
         );
-        HyTGraphSystem { graph: working, hub, parts, devices, config }
+        let interconnect = Interconnect::build(
+            config.topology,
+            devices.num_devices() as usize,
+            config.machine.pcie,
+            config.peer_link,
+        );
+        let mut shard_holders = vec![false; devices.num_devices() as usize];
+        for pid in 0..parts.len() as u32 {
+            shard_holders[devices.device_of(pid) as usize] = true;
+        }
+        HyTGraphSystem { graph: working, hub, parts, devices, interconnect, shard_holders, config }
+    }
+
+    /// The interconnect the devices contend on.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
     }
 
     /// Number of vertices.
@@ -270,11 +296,19 @@ impl HyTGraphSystem {
         // --- Stage 1: cost-aware task generation (per device). ---
         let acts =
             analyze_partitions(&self.graph, &self.parts, frontier, &machine.pcie, bpe, cfg.threads);
+        // Opt-in contention awareness: Algorithm 1 priced the bus as if a
+        // device owned it exclusively; with the flag on, the selector
+        // sees the cost shift caused by the shard-holders sharing the
+        // host link.
+        let select_params = if cfg.contention_aware_selection {
+            let holders = self.shard_holders.iter().filter(|&&h| h).count();
+            cfg.select_params.with_contention(holders as f64, machine.pcie.gamma)
+        } else {
+            cfg.select_params
+        };
         let decisions = match cfg.selection {
             Selection::GrusLike => grus_select(&acts, &self.parts, devices, grus_states, bpe),
-            sel => {
-                select_engines_sharded(&acts, devices, &machine.pcie, bpe, sel, &cfg.select_params)
-            }
+            sel => select_engines_sharded(&acts, devices, &machine.pcie, bpe, sel, &select_params),
         };
         let mut mix = EngineMix::default();
         let mut dev_mix = vec![EngineMix::default(); nd];
@@ -396,10 +430,35 @@ impl HyTGraphSystem {
 
         // Each device's slice list inherits the global priority order
         // restricted to that device — per-device priority ordering for
-        // free. Play them against the shared-bus machine model.
-        let timeline = MultiGpuSim::new(nd, cfg.num_streams).schedule(&dev_tasks);
-        let (exchange_time, exchange_bytes) = self.price_exchange(&next);
-        counters.exchange_bytes += exchange_bytes;
+        // free. Play them against the interconnect's link queues.
+        let timeline =
+            MultiGpuSim::with_interconnect(nd, cfg.num_streams, self.interconnect.clone())
+                .schedule(&dev_tasks);
+        let exchange_report = self.price_exchange(&next);
+        counters.exchange_bytes += exchange_report.payload_bytes;
+        // With overlap on, the exchange hides under the next iteration's
+        // cost analysis (the fixed orchestration overhead below): only
+        // the residual stays on the critical path. The overlap is legal
+        // on both axes: the data is disjoint (last iteration's published
+        // values vs the freshly-drained frontier's activity scan), and
+        // the resources are too — the analysis overhead is GPU-side
+        // bitmap work plus launch/driver latency (it is *scaled by* the
+        // copy latency, not DMA occupancy of the bus), so exchange legs
+        // keep their exclusive link queues while it runs. The serial
+        // baseline stays the default.
+        let analysis_time = ITERATION_OVERHEAD_COPIES * machine.pcie.copy_latency;
+        // A non-zero exchange implies a non-empty next frontier, so a next
+        // iteration's analysis exists to hide under — unless this was the
+        // last iteration the max_iterations cap allows.
+        let next_analysis_runs = iteration + 1 < cfg.max_iterations;
+        let exchange = ExchangeStats {
+            hidden: if cfg.overlap_exchange && next_analysis_runs {
+                exchange_report.makespan.min(analysis_time)
+            } else {
+                0.0
+            },
+            ..ExchangeStats::from(&exchange_report)
+        };
 
         let per_device: Vec<DeviceIterationStats> = (0..nd)
             .map(|d| DeviceIterationStats {
@@ -421,13 +480,11 @@ impl HyTGraphSystem {
             total_partitions: self.parts.len() as u32,
             mix,
             tasks: dev_tasks.iter().map(Vec::len).sum::<usize>() as u32,
-            time: timeline.makespan
-                + exchange_time
-                + ITERATION_OVERHEAD_COPIES * machine.pcie.copy_latency,
-            transfer_time: timeline.bus_busy + exchange_time,
+            time: timeline.makespan + exchange.exposed() + analysis_time,
+            transfer_time: timeline.bus_busy + exchange.host_time + exchange.peer_time,
             compute_time: timeline.gpu_busy_total(),
             compaction_time: timeline.cpu_busy,
-            exchange_time,
+            exchange,
             per_device,
             counters,
         };
@@ -437,52 +494,27 @@ impl HyTGraphSystem {
         stats
     }
 
-    /// Price the end-of-iteration all-to-all (D > 1 only): each device
+    /// Price the end-of-iteration all-gather (D > 1 only): each device
     /// publishes the `(id, value)` records of its newly-activated owned
-    /// vertices and receives every other device's batch, serialised on the
-    /// shared bus as explicit copies (the iteration barrier means the
-    /// exchange cannot overlap the next iteration's work).
-    fn price_exchange(&self, next: &Frontier) -> (SimTime, u64) {
+    /// vertices and receives every other shard-holder's batch, routed
+    /// over the configured interconnect — direct where a peer link
+    /// exists, staged through the host root complex otherwise, with legs
+    /// queueing per link ([`Interconnect::price_all_gather`]).
+    ///
+    /// Only devices that own a shard participate: a spare device with no
+    /// partitions computes nothing, so it neither publishes nor
+    /// subscribes (otherwise idle devices would inflate the exchange
+    /// linearly when D exceeds the partition count).
+    fn price_exchange(&self, next: &Frontier) -> ExchangeReport {
         let nd = self.devices.num_devices() as usize;
         if nd <= 1 {
-            return (0.0, 0);
+            return ExchangeReport::default();
         }
-        // Only devices that own a shard participate: a spare device with
-        // no partitions computes nothing, so it neither publishes nor
-        // subscribes (otherwise idle devices would inflate the exchange
-        // linearly when D exceeds the partition count).
-        let mut participates = vec![false; nd];
-        for pid in 0..self.parts.len() as u32 {
-            participates[self.devices.device_of(pid) as usize] = true;
-        }
-        if participates.iter().filter(|&&p| p).count() <= 1 {
-            return (0.0, 0); // one shard-holder has no peers to talk to
-        }
-        let mut out = vec![0u64; nd];
+        let mut owned = vec![0u64; nd];
         for v in next.iter() {
-            out[self.devices.device_of(self.parts.owner_of(v)) as usize] += 1;
+            owned[self.devices.device_of(self.parts.owner_of(v)) as usize] += EXCHANGE_RECORD_BYTES;
         }
-        let total: u64 = out.iter().sum();
-        if total == 0 {
-            return (0.0, 0);
-        }
-        let pcie = &self.config.machine.pcie;
-        let mut time = 0.0;
-        let mut bytes = 0u64;
-        for (d, &owned) in out.iter().enumerate() {
-            if !participates[d] {
-                continue;
-            }
-            let up = owned * EXCHANGE_RECORD_BYTES;
-            let down = (total - owned) * EXCHANGE_RECORD_BYTES;
-            for b in [up, down] {
-                if b > 0 {
-                    time += pcie.explicit_copy_time(b);
-                    bytes += b;
-                }
-            }
-        }
-        (time, bytes)
+        self.interconnect.price_all_gather(&owned, &self.shard_holders)
     }
 
     /// Newly-activated vertices that the already-loaded task data can
@@ -589,7 +621,7 @@ impl HyTGraphSystem {
             transfer_time: 0.0,
             compute_time: time,
             compaction_time: 0.0,
-            exchange_time: 0.0,
+            exchange: ExchangeStats::default(),
             per_device: Vec::new(),
             counters: TransferCounters { kernel_edges: active_edges, ..Default::default() },
         };

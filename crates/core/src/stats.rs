@@ -34,6 +34,23 @@ impl EngineMix {
         }
     }
 
+    /// Merge another mix into this one (summing all four engines).
+    pub fn merge(&mut self, other: &EngineMix) {
+        self.filter += other.filter;
+        self.compaction += other.compaction;
+        self.zero_copy += other.zero_copy;
+        self.unified += other.unified;
+    }
+
+    /// Run-total mix: the sum over a run's per-iteration records.
+    pub fn sum_over<'a>(iterations: impl IntoIterator<Item = &'a IterationStats>) -> EngineMix {
+        let mut total = EngineMix::default();
+        for it in iterations {
+            total.merge(&it.mix);
+        }
+        total
+    }
+
     /// Total active partitions.
     pub fn total(&self) -> u32 {
         self.filter + self.compaction + self.zero_copy + self.unified
@@ -49,6 +66,62 @@ impl EngineMix {
             self.zero_copy as f64 / t,
             self.unified as f64 / t,
         )
+    }
+}
+
+/// Per-link-class breakdown of one iteration's inter-device frontier
+/// exchange (all zeros on single-device or CPU-only iterations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct ExchangeStats {
+    /// Routed exchange wall time: the busiest link's queue, since legs
+    /// on disjoint links overlap (equals the serial bus time on the
+    /// host-only topology).
+    pub time: SimTime,
+    /// Portion of `time` hidden under the next iteration's cost
+    /// analysis when `overlap_exchange` is on (0 otherwise).
+    pub hidden: SimTime,
+    /// Host root-complex busy time (staged uploads + downloads).
+    pub host_time: SimTime,
+    /// Peer-link busy time (direct device-to-device legs).
+    pub peer_time: SimTime,
+    /// Bytes that crossed the host root complex (staged records count
+    /// on both hops).
+    pub host_bytes: u64,
+    /// Bytes that crossed direct peer links.
+    pub peer_bytes: u64,
+}
+
+impl ExchangeStats {
+    /// Exchange wall time actually exposed on the critical path
+    /// (`time − hidden`).
+    pub fn exposed(&self) -> SimTime {
+        self.time - self.hidden
+    }
+
+    /// Accumulate another iteration's exchange into this one (run-total
+    /// reporting).
+    pub fn merge(&mut self, other: &ExchangeStats) {
+        self.time += other.time;
+        self.hidden += other.hidden;
+        self.host_time += other.host_time;
+        self.peer_time += other.peer_time;
+        self.host_bytes += other.host_bytes;
+        self.peer_bytes += other.peer_bytes;
+    }
+}
+
+/// One routed all-gather, as the runner records it (`hidden` starts at 0;
+/// the runner sets it when `overlap_exchange` applies).
+impl From<&hyt_sim::ExchangeReport> for ExchangeStats {
+    fn from(r: &hyt_sim::ExchangeReport) -> Self {
+        ExchangeStats {
+            time: r.makespan,
+            hidden: 0.0,
+            host_time: r.host_time,
+            peer_time: r.peer_time,
+            host_bytes: r.host_bytes,
+            peer_bytes: r.peer_bytes,
+        }
     }
 }
 
@@ -95,8 +168,10 @@ pub struct IterationStats {
     pub compute_time: SimTime,
     /// CPU compaction busy time.
     pub compaction_time: SimTime,
-    /// Inter-device frontier/value exchange time (0 on one device).
-    pub exchange_time: SimTime,
+    /// Routed exchange breakdown per link class (host vs peer); all
+    /// zeros on single-device and CPU-only iterations. The wall time is
+    /// `exchange.time`.
+    pub exchange: ExchangeStats,
     /// Per-device breakdown (one entry per simulated GPU; empty for
     /// CPU-only iterations).
     pub per_device: Vec<DeviceIterationStats>,
@@ -150,6 +225,11 @@ mod tests {
         m.add(EngineKind::ImpZeroCopy, 1);
         m.add(EngineKind::ExpFilter, 1);
         assert_eq!(m.total(), 5);
+        let mut merged = EngineMix::default();
+        merged.add(EngineKind::ImpUnified, 2);
+        merged.merge(&m);
+        assert_eq!(merged.total(), 7);
+        assert_eq!((merged.filter, merged.zero_copy, merged.unified), (4, 1, 2));
         let (f, c, z, u) = m.fractions();
         assert!((f - 0.8).abs() < 1e-12);
         assert_eq!(c, 0.0);
@@ -161,5 +241,12 @@ mod tests {
     fn empty_mix_has_zero_fractions() {
         let m = EngineMix::default();
         assert_eq!(m.fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn exchange_exposed_subtracts_hidden_time() {
+        let x = ExchangeStats { time: 5.0, hidden: 2.0, ..Default::default() };
+        assert!((x.exposed() - 3.0).abs() < 1e-12);
+        assert_eq!(ExchangeStats::default().exposed(), 0.0);
     }
 }

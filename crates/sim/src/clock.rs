@@ -25,8 +25,11 @@ pub struct TransferCounters {
     pub compaction_bytes: u64,
     /// Kernel launches.
     pub kernel_launches: u64,
-    /// Bytes moved by the inter-device frontier/value all-to-all exchange
-    /// (0 on single-device runs).
+    /// Logical payload delivered by the inter-device frontier/value
+    /// all-gather: each record counts once per receiving peer, however
+    /// the interconnect routes it (0 on single-device runs). Identical
+    /// across topologies; the per-link byte split lives in
+    /// `IterationStats::exchange` (host-staged records cross two hops).
     pub exchange_bytes: u64,
 }
 
@@ -36,14 +39,21 @@ impl TransferCounters {
         Self::default()
     }
 
-    /// All bytes that crossed the bus, any mechanism (edge data plus the
-    /// multi-device frontier exchange).
+    /// Total transfer volume: edge-data bytes that crossed the bus
+    /// (explicit + zero-copy + unified-memory) plus the frontier
+    /// exchange's logical payload. The exchange term is deliberately the
+    /// routing-invariant payload, not per-link wire bytes — the metric
+    /// compares *how much data the system had to move*, and a host-staged
+    /// record double-counted per hop would make the same run look heavier
+    /// on one topology than another. Per-link wire bytes live in
+    /// `IterationStats::exchange`.
     pub fn total_transfer_bytes(&self) -> u64 {
         self.explicit_bytes + self.zero_copy_bytes + self.um_bytes + self.exchange_bytes
     }
 
     /// Transfer volume normalised to the graph's edge-data volume
-    /// (Table VI's metric).
+    /// (Table VI's metric; single-device runs have no exchange term, so
+    /// it matches the paper's definition exactly).
     pub fn transfer_ratio(&self, edge_bytes: u64) -> f64 {
         self.total_transfer_bytes() as f64 / edge_bytes.max(1) as f64
     }

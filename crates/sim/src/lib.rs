@@ -26,7 +26,11 @@
 //!   per-stream ordering, three contended resources (PCIe, GPU compute,
 //!   CPU compaction pool), and makespan extraction (Fig. 6).
 //! * [`multi`] — the multi-device generalisation: per-device streams and
-//!   kernel engines behind one shared bus and one host compaction pool.
+//!   kernel engines behind a routed interconnect and one host compaction
+//!   pool.
+//! * [`topology`] — the interconnect itself: host root complex plus
+//!   optional NVLink-class peer links (ring / all-to-all), transfer
+//!   routing, and per-link contention pricing of the frontier all-gather.
 //! * [`clock`] — transfer/volume counters used by Table VI.
 
 pub mod clock;
@@ -35,6 +39,7 @@ pub mod kernel;
 pub mod multi;
 pub mod pcie;
 pub mod streams;
+pub mod topology;
 pub mod um;
 
 pub use clock::TransferCounters;
@@ -43,6 +48,9 @@ pub use kernel::KernelModel;
 pub use multi::{MultiGpuSim, MultiTimeline};
 pub use pcie::PcieModel;
 pub use streams::{Phase, PhaseSpan, Resource, SimTask, StreamSim, Timeline};
+pub use topology::{
+    ExchangeReport, Interconnect, Link, LinkClass, LinkRate, LinkSpec, Route, TopologyKind,
+};
 pub use um::{UmCache, UmModel};
 
 /// Simulated time in seconds. All model arithmetic is pure `f64`; identical

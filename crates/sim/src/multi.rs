@@ -1,14 +1,18 @@
-//! Multi-device timeline: per-device streams and compute behind one bus.
+//! Multi-device timeline: per-device streams and compute behind a routed
+//! interconnect.
 //!
 //! [`MultiGpuSim`] generalises [`StreamSim`](crate::StreamSim) to `D`
 //! simulated devices. Each device owns its own CUDA streams and its own
 //! kernel engine (kernels on *different* devices overlap freely), while
-//! two resources stay shared across the whole host:
+//! two resource families stay shared across the whole host:
 //!
-//! * **PCIe** — all devices hang off one host root complex; transfers and
-//!   zero-copy reads from any device serialise on the same bus (the
-//!   pessimistic single-switch topology; NVLink-style device-to-device
-//!   links are future work, see ROADMAP).
+//! * **Interconnect links** — each link of the configured
+//!   [`Interconnect`] is its own contention queue. Edge-slice transfers
+//!   and zero-copy reads are host-routed (the data lives in host
+//!   memory), so they queue on the host root complex from every device —
+//!   with the host-only topology this is exactly the legacy single
+//!   shared bus. Peer links carry the inter-device frontier exchange,
+//!   priced by [`Interconnect::price_all_gather`].
 //! * **CPU** — the host compaction pool serves every device's gather
 //!   requests and serialises with itself.
 //!
@@ -21,7 +25,8 @@
 //! to the pre-sharding code path.
 
 use crate::streams::{Phase, PhaseSpan, Resource, SimTask, Timeline};
-use crate::SimTime;
+use crate::topology::Interconnect;
+use crate::{PcieModel, SimTime};
 
 /// Completed multi-device schedule.
 #[derive(Clone, Debug, Default)]
@@ -38,6 +43,10 @@ pub struct MultiTimeline {
     /// order — bus exclusivity must hold across devices, not just within
     /// one device's timeline.
     pub bus_spans: Vec<(u32, SimTime, SimTime)>,
+    /// Busy time per interconnect link (index = link id, host root
+    /// complex first). Task traffic is host-routed, so peer entries stay
+    /// zero here; the frontier exchange occupies them separately.
+    pub link_busy: Vec<SimTime>,
 }
 
 impl MultiTimeline {
@@ -52,21 +61,43 @@ impl MultiTimeline {
     }
 }
 
-/// Deterministic list scheduler over `D` devices sharing one bus and one
-/// host compaction pool.
-#[derive(Clone, Copy, Debug)]
+/// Deterministic list scheduler over `D` devices behind a routed
+/// interconnect and one host compaction pool.
+#[derive(Clone, Debug)]
 pub struct MultiGpuSim {
     /// Number of simulated devices (minimum 1).
     pub num_devices: usize,
     /// CUDA streams per device.
     pub num_streams: usize,
+    /// The link set devices contend on. Task transfers are host-routed
+    /// (edge data is host-resident) and queue on each device's host
+    /// link; peer links are occupied by the frontier exchange.
+    pub interconnect: Interconnect,
 }
 
 impl MultiGpuSim {
     /// A scheduler over `num_devices` devices with `num_streams` streams
-    /// each (both clamped to at least 1).
+    /// each (both clamped to at least 1), on the legacy host-only
+    /// interconnect (one shared root complex).
     pub fn new(num_devices: usize, num_streams: usize) -> Self {
-        MultiGpuSim { num_devices: num_devices.max(1), num_streams: num_streams.max(1) }
+        let nd = num_devices.max(1);
+        Self::with_interconnect(nd, num_streams, Interconnect::host_only(nd, PcieModel::pcie3()))
+    }
+
+    /// A scheduler over an explicit interconnect (`interconnect` must
+    /// span at least `num_devices` devices).
+    pub fn with_interconnect(
+        num_devices: usize,
+        num_streams: usize,
+        interconnect: Interconnect,
+    ) -> Self {
+        let nd = num_devices.max(1);
+        assert!(
+            interconnect.num_devices() >= nd,
+            "interconnect spans {} devices, scheduler needs {nd}",
+            interconnect.num_devices()
+        );
+        MultiGpuSim { num_devices: nd, num_streams: num_streams.max(1), interconnect }
     }
 
     /// Play one priority-ordered task list per device and return the
@@ -74,13 +105,19 @@ impl MultiGpuSim {
     pub fn schedule(&self, tasks: &[Vec<SimTask>]) -> MultiTimeline {
         assert_eq!(tasks.len(), self.num_devices, "one task list per device");
         let nd = self.num_devices;
-        let mut pcie_free = 0.0f64;
+        // One contention queue per interconnect link. Host-routed task
+        // traffic from device `d` queues on `host_link_of(d)` — with one
+        // root complex that is the legacy single shared bus.
+        let mut link_free = vec![0.0f64; self.interconnect.num_links()];
         let mut cpu_free = 0.0f64;
         let mut gpu_free = vec![0.0f64; nd];
         let mut stream_free = vec![vec![0.0f64; self.num_streams]; nd];
         let mut next = vec![0usize; nd];
-        let mut tl =
-            MultiTimeline { per_device: vec![Timeline::default(); nd], ..Default::default() };
+        let mut tl = MultiTimeline {
+            per_device: vec![Timeline::default(); nd],
+            link_busy: vec![0.0; self.interconnect.num_links()],
+            ..Default::default()
+        };
 
         loop {
             // Pick the device whose head-of-queue task could start earliest.
@@ -90,12 +127,13 @@ impl MultiGpuSim {
                     continue;
                 }
                 let task = &queue[next[d]];
+                let host = self.interconnect.host_link_of(d as u32);
                 let (sid, cursor) = earliest_stream(&stream_free[d]);
                 let start = match task.phases.first() {
                     Some(Phase::Cpu(_)) => cursor.max(cpu_free),
-                    Some(Phase::Transfer(_)) => cursor.max(pcie_free),
+                    Some(Phase::Transfer(_)) => cursor.max(link_free[host]),
                     Some(Phase::Kernel(_)) => cursor.max(gpu_free[d]),
-                    Some(Phase::Fused { .. }) => cursor.max(pcie_free).max(gpu_free[d]),
+                    Some(Phase::Fused { .. }) => cursor.max(link_free[host]).max(gpu_free[d]),
                     None => cursor,
                 };
                 if best.is_none_or(|(s, _, _)| start < s) {
@@ -106,6 +144,7 @@ impl MultiGpuSim {
             let task = &tasks[d][next[d]];
             let tid = next[d];
             next[d] += 1;
+            let host = self.interconnect.host_link_of(d as u32);
 
             let dev_tl = &mut tl.per_device[d];
             let mut cursor = stream_free[d][sid];
@@ -115,9 +154,9 @@ impl MultiGpuSim {
                 let dur = phase.duration();
                 let start = match phase {
                     Phase::Cpu(_) => cursor.max(cpu_free),
-                    Phase::Transfer(_) => cursor.max(pcie_free),
+                    Phase::Transfer(_) => cursor.max(link_free[host]),
                     Phase::Kernel(_) => cursor.max(gpu_free[d]),
-                    Phase::Fused { .. } => cursor.max(pcie_free).max(gpu_free[d]),
+                    Phase::Fused { .. } => cursor.max(link_free[host]).max(gpu_free[d]),
                 };
                 let end = start + dur;
                 let span = |resource, fused| PhaseSpan { task: tid, resource, start, end, fused };
@@ -128,8 +167,9 @@ impl MultiGpuSim {
                         dev_tl.phase_spans.push(span(Resource::Cpu, false));
                     }
                     Phase::Transfer(t) => {
-                        pcie_free = end;
+                        link_free[host] = end;
                         dev_tl.pcie_busy += t;
+                        tl.link_busy[host] += t;
                         dev_tl.phase_spans.push(span(Resource::Pcie, false));
                         tl.bus_spans.push((d as u32, start, end));
                     }
@@ -139,9 +179,10 @@ impl MultiGpuSim {
                         dev_tl.phase_spans.push(span(Resource::Gpu, false));
                     }
                     Phase::Fused { transfer, kernel } => {
-                        pcie_free = end;
+                        link_free[host] = end;
                         gpu_free[d] = end;
                         dev_tl.pcie_busy += transfer;
+                        tl.link_busy[host] += transfer;
                         dev_tl.gpu_busy += kernel;
                         dev_tl.phase_spans.push(span(Resource::Pcie, true));
                         dev_tl.phase_spans.push(span(Resource::Gpu, true));
@@ -274,6 +315,39 @@ mod tests {
         assert!(m2 <= m1 + 1e-9, "m2 {m2} m1 {m1}");
         assert!(m4 <= m2 + 1e-9, "m4 {m4} m2 {m2}");
         assert!(m4 < m1, "kernel overlap should win: {m4} vs {m1}");
+    }
+
+    #[test]
+    fn link_busy_mirrors_bus_busy_and_peers_stay_idle() {
+        use crate::topology::{Interconnect, LinkSpec, TopologyKind};
+        let ic = Interconnect::build(TopologyKind::Ring, 2, PcieModel::pcie3(), LinkSpec::nvlink());
+        let t = || vec![explicit("t", 3.0, 1.0), SimTask::zero_copy("z", 2.0, 0.5)];
+        let tl = MultiGpuSim::with_interconnect(2, 4, ic).schedule(&[t(), t()]);
+        assert_eq!(tl.link_busy.len(), 2); // host root complex + one peer link
+        assert!((tl.link_busy[0] - tl.bus_busy).abs() < 1e-12);
+        assert_eq!(tl.link_busy[1], 0.0, "task traffic is host-routed");
+    }
+
+    #[test]
+    fn peer_topology_does_not_change_task_scheduling() {
+        use crate::topology::{Interconnect, LinkSpec, TopologyKind};
+        // Peer links only carry the exchange; the task timeline must be
+        // identical whichever topology the scheduler is built with.
+        let lists = || {
+            vec![
+                vec![SimTask::compaction("a", 0.5, 1.0, 0.7), explicit("b", 1.0, 0.2)],
+                vec![SimTask::zero_copy("c", 2.0, 0.4)],
+                vec![explicit("d", 0.9, 0.9)],
+            ]
+        };
+        let host = MultiGpuSim::new(3, 2).schedule(&lists());
+        for kind in [TopologyKind::Ring, TopologyKind::AllToAll] {
+            let ic = Interconnect::build(kind, 3, PcieModel::pcie3(), LinkSpec::nvlink());
+            let tl = MultiGpuSim::with_interconnect(3, 2, ic).schedule(&lists());
+            assert_eq!(tl.makespan, host.makespan, "{kind:?}");
+            assert_eq!(tl.bus_spans, host.bus_spans, "{kind:?}");
+            assert_eq!(tl.link_busy[0], host.link_busy[0], "{kind:?}");
+        }
     }
 
     #[test]

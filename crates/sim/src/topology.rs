@@ -1,0 +1,530 @@
+//! Topology-aware interconnect: links, routes, and per-link contention.
+//!
+//! PR 2's multi-device model priced every byte — edge slices *and* the
+//! inter-device frontier exchange — on one shared PCIe root complex,
+//! which is exactly the "one flat bus" assumption the paper's Section
+//! VIII names as the open frontier. This module makes the interconnect a
+//! first-class object:
+//!
+//! * a [`Link`] is one contended wire with its own pricing: the **host
+//!   root complex** (all devices' PCIe lanes converge there, priced with
+//!   the TLP-quantised [`PcieModel`]) or an **NVLink-class peer link**
+//!   between two devices (smooth latency + bandwidth, [`LinkSpec`]);
+//! * an [`Interconnect`] is a set of links in one of three shapes
+//!   ([`TopologyKind`]): host-only (the legacy shared bus), a ring of
+//!   neighbour links, or a fully-connected clique;
+//! * [`Interconnect::route`] maps a device-to-device transfer to a priced
+//!   path — **direct** over a peer link when one exists, **host-staged**
+//!   (store-and-forward through host memory, up then down on the root
+//!   complex) when none does;
+//! * [`Interconnect::price_all_gather`] plays a frontier all-gather
+//!   against per-link contention queues: legs on disjoint links overlap,
+//!   legs sharing a link serialise. With the host-only topology this
+//!   reduces *bit-identically* to the legacy serial-bus pricing (asserted
+//!   by tests), so every pre-topology differential guarantee carries
+//!   over.
+//!
+//! Peer links are modelled half-duplex (both directions of one link share
+//! its queue) — conservative for NVLink, which is full-duplex, and the
+//! simpler invariant to test.
+
+use crate::pcie::PcieModel;
+use crate::SimTime;
+
+/// Index of the host root complex in every [`Interconnect`]'s link table.
+pub const HOST_LINK: usize = 0;
+
+/// Named interconnect shapes the simulator knows how to build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// No peer links: every transfer is staged through the host root
+    /// complex. The legacy (PR 2) model; the default.
+    #[default]
+    HostOnly,
+    /// Each device has a direct link to its two ring neighbours
+    /// (`d ± 1 mod D`); other pairs stage through the host.
+    Ring,
+    /// A direct link between every device pair (NVSwitch-class).
+    AllToAll,
+}
+
+impl TopologyKind {
+    /// All shapes, in sweep order.
+    pub const ALL: [TopologyKind; 3] =
+        [TopologyKind::HostOnly, TopologyKind::Ring, TopologyKind::AllToAll];
+
+    /// Display name (also accepted by [`TopologyKind::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyKind::HostOnly => "host-only",
+            TopologyKind::Ring => "ring",
+            TopologyKind::AllToAll => "all-to-all",
+        }
+    }
+
+    /// Parse a CLI/config spelling.
+    pub fn parse(s: &str) -> Option<TopologyKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "host" | "host-only" | "hostonly" | "pcie" => Some(TopologyKind::HostOnly),
+            "ring" => Some(TopologyKind::Ring),
+            "all-to-all" | "alltoall" | "a2a" | "nvswitch" => Some(TopologyKind::AllToAll),
+            _ => None,
+        }
+    }
+}
+
+/// Bandwidth/latency of an NVLink-class point-to-point link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Effective (practical) bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Fixed per-transfer software/launch latency, seconds.
+    pub latency: SimTime,
+}
+
+impl LinkSpec {
+    /// NVLink 2.0-class bridge: ~50 GB/s nominal per direction, derated
+    /// to practical throughput like the PCIe model; P2P copies skip the
+    /// host staging so their launch latency is about half a `cudaMemcpy`.
+    pub fn nvlink() -> Self {
+        Self::with_nominal_bw(50.0e9)
+    }
+
+    /// A peer link with the given *nominal* bandwidth (bytes/s), derated
+    /// by the same practical fraction as the PCIe model.
+    pub fn with_nominal_bw(nominal: f64) -> Self {
+        LinkSpec { bandwidth: nominal * crate::pcie::PRACTICAL_FRACTION, latency: 5.0e-6 }
+    }
+
+    /// Scale fixed latency to 2^-shift datasets, mirroring
+    /// [`MachineModel::scaled`](crate::MachineModel::scaled).
+    pub fn scaled(mut self, shift: u32) -> Self {
+        self.latency /= (1u64 << shift) as f64;
+        self
+    }
+
+    /// Wall time of one transfer of `bytes` over this link.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Host-side vs device-to-device link classes (the per-class exchange
+/// breakdown in `IterationStats` uses these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// The PCIe root complex every device's host lanes converge on.
+    Host,
+    /// A direct NVLink-class link between two devices.
+    Peer,
+}
+
+/// How a link prices one transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkRate {
+    /// TLP-quantised explicit-copy pricing (the PCIe root complex) —
+    /// keeps host-staged legs bit-identical to the legacy bus model.
+    Pcie(PcieModel),
+    /// Smooth latency + bandwidth pricing (NVLink-class peer links).
+    Smooth(LinkSpec),
+}
+
+impl LinkRate {
+    /// Wall time of one transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        match self {
+            LinkRate::Pcie(p) => p.explicit_copy_time(bytes),
+            LinkRate::Smooth(s) => s.transfer_time(bytes),
+        }
+    }
+}
+
+/// One contended wire of the interconnect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Host root complex or device peer link.
+    pub class: LinkClass,
+    /// Endpoint devices of a peer link (`None` for the host link, which
+    /// every device shares).
+    pub endpoints: Option<(u32, u32)>,
+    /// Transfer pricing.
+    pub rate: LinkRate,
+}
+
+/// The priced path of one device-to-device transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// A direct peer link (link-table index).
+    Direct(usize),
+    /// No peer link: store-and-forward through host memory, one upload
+    /// and one download on the host root complex.
+    HostStaged,
+}
+
+/// A set of links connecting `D` devices and the host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interconnect {
+    kind: TopologyKind,
+    num_devices: usize,
+    links: Vec<Link>,
+}
+
+impl Interconnect {
+    /// Build the `kind` topology over `num_devices` devices (minimum 1):
+    /// link 0 is always the host root complex priced by `host`; peer
+    /// links (if any) are priced by `peer`.
+    pub fn build(kind: TopologyKind, num_devices: usize, host: PcieModel, peer: LinkSpec) -> Self {
+        let nd = num_devices.max(1);
+        let mut links =
+            vec![Link { class: LinkClass::Host, endpoints: None, rate: LinkRate::Pcie(host) }];
+        let mut pair = |a: u32, b: u32| {
+            links.push(Link {
+                class: LinkClass::Peer,
+                endpoints: Some((a, b)),
+                rate: LinkRate::Smooth(peer),
+            });
+        };
+        match kind {
+            TopologyKind::HostOnly => {}
+            TopologyKind::Ring => {
+                // nd = 2 has a single neighbour link; nd <= 1 has none.
+                if nd == 2 {
+                    pair(0, 1);
+                } else if nd > 2 {
+                    for d in 0..nd as u32 {
+                        pair(d, (d + 1) % nd as u32);
+                    }
+                }
+            }
+            TopologyKind::AllToAll => {
+                for a in 0..nd as u32 {
+                    for b in a + 1..nd as u32 {
+                        pair(a, b);
+                    }
+                }
+            }
+        }
+        Interconnect { kind, num_devices: nd, links }
+    }
+
+    /// The legacy shared-bus interconnect (no peer links).
+    pub fn host_only(num_devices: usize, host: PcieModel) -> Self {
+        Self::build(TopologyKind::HostOnly, num_devices, host, LinkSpec::nvlink())
+    }
+
+    /// Topology shape.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Devices connected.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Total links, host root complex included.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link table (index = link id; `HOST_LINK` first).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The host root complex link id.
+    pub fn host_link(&self) -> usize {
+        HOST_LINK
+    }
+
+    /// Host link used by `device`'s host-side transfers. Every device's
+    /// lanes converge on the one root complex — per-device host lanes
+    /// would go here if a future topology modelled independent switches.
+    pub fn host_link_of(&self, _device: u32) -> usize {
+        HOST_LINK
+    }
+
+    /// Direct peer link between `a` and `b`, if the topology has one.
+    pub fn peer_link(&self, a: u32, b: u32) -> Option<usize> {
+        self.links.iter().position(
+            |l| matches!(l.endpoints, Some((x, y)) if (x, y) == (a, b) || (x, y) == (b, a)),
+        )
+    }
+
+    /// Route one `src -> dst` device transfer.
+    pub fn route(&self, src: u32, dst: u32) -> Route {
+        match self.peer_link(src, dst) {
+            Some(l) => Route::Direct(l),
+            None => Route::HostStaged,
+        }
+    }
+
+    /// Wall time of one transfer of `bytes` over link `link`.
+    pub fn transfer_time(&self, link: usize, bytes: u64) -> SimTime {
+        self.links[link].rate.transfer_time(bytes)
+    }
+
+    /// Price the end-of-iteration frontier all-gather: participating
+    /// device `d` publishes `owned[d]` bytes and must receive every other
+    /// participant's batch.
+    ///
+    /// Pairs with a direct peer link send their batch on it; all pairs
+    /// without one share the host staging path — one upload per source
+    /// (the host copy is reused for every host-routed destination) and
+    /// one aggregated download per destination, exactly the legacy
+    /// shared-bus exchange. Legs queue per link and overlap across links,
+    /// so the makespan is the busiest link, not the serial sum.
+    ///
+    /// Host legs are queued in ascending device order, upload before
+    /// download — the legacy pricing order — which keeps the host-only
+    /// result bit-identical to the pre-topology serial bus model.
+    pub fn price_all_gather(&self, owned: &[u64], participates: &[bool]) -> ExchangeReport {
+        assert_eq!(owned.len(), self.num_devices, "one publication size per device");
+        assert_eq!(participates.len(), self.num_devices);
+        let nd = self.num_devices;
+        let mut report =
+            ExchangeReport { per_link_busy: vec![0.0; self.links.len()], ..Default::default() };
+        let holders = participates.iter().filter(|&&p| p).count();
+        if holders <= 1 {
+            return report; // nobody to talk to
+        }
+        let total: u64 = (0..nd).filter(|&d| participates[d]).map(|d| owned[d]).sum();
+        if total == 0 {
+            return report;
+        }
+        // Logical payload: every participant receives every other
+        // participant's records, however routed. Topology-invariant.
+        report.payload_bytes = total * (holders as u64 - 1);
+
+        // Direct legs ride the pair's peer link; the rest fall back to
+        // host staging (shared upload per source, aggregated download per
+        // destination).
+        let mut host_up = vec![0u64; nd];
+        let mut host_down = vec![0u64; nd];
+        for s in (0..nd as u32).filter(|&s| participates[s as usize]) {
+            for d in (0..nd as u32).filter(|&d| d != s && participates[d as usize]) {
+                match self.route(s, d) {
+                    Route::Direct(link) => {
+                        let b = owned[s as usize];
+                        if b > 0 {
+                            report.per_link_busy[link] += self.transfer_time(link, b);
+                            report.peer_bytes += b;
+                        }
+                    }
+                    Route::HostStaged => {
+                        host_up[s as usize] = owned[s as usize];
+                        host_down[d as usize] += owned[s as usize];
+                    }
+                }
+            }
+        }
+        for d in (0..nd).filter(|&d| participates[d]) {
+            for b in [host_up[d], host_down[d]] {
+                if b > 0 {
+                    report.per_link_busy[HOST_LINK] += self.transfer_time(HOST_LINK, b);
+                    report.host_bytes += b;
+                }
+            }
+        }
+
+        report.host_time = report.per_link_busy[HOST_LINK];
+        report.peer_time = report.per_link_busy[HOST_LINK + 1..].iter().sum();
+        report.makespan = report.per_link_busy.iter().fold(0.0, |a, &b| a.max(b));
+        report
+    }
+}
+
+/// Routed, per-link-contended pricing of one frontier all-gather.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExchangeReport {
+    /// Wall time until the last link drains (legs on disjoint links
+    /// overlap; legs sharing a link serialise).
+    pub makespan: SimTime,
+    /// Host root-complex busy time.
+    pub host_time: SimTime,
+    /// Total peer-link busy time (all peer links).
+    pub peer_time: SimTime,
+    /// Bytes that crossed the host root complex (staged uploads +
+    /// downloads; a staged record is counted on both hops).
+    pub host_bytes: u64,
+    /// Bytes that crossed peer links.
+    pub peer_bytes: u64,
+    /// Logical payload delivered (`Σ owned · (participants − 1)`) —
+    /// identical for every topology, unlike the per-link byte counts.
+    pub payload_bytes: u64,
+    /// Busy time per link (index = link id; `HOST_LINK` first).
+    pub per_link_busy: Vec<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn pcie() -> PcieModel {
+        PcieModel::pcie3()
+    }
+
+    fn legacy_serial_exchange(
+        pcie: &PcieModel,
+        owned: &[u64],
+        participates: &[bool],
+    ) -> (f64, u64) {
+        // The PR 2 pricing, verbatim: per participating device, one
+        // upload and one download on the single shared bus.
+        let total: u64 = owned.iter().zip(participates).filter(|&(_, &p)| p).map(|(&o, _)| o).sum();
+        let mut time = 0.0;
+        let mut bytes = 0u64;
+        for (d, &o) in owned.iter().enumerate() {
+            if !participates[d] {
+                continue;
+            }
+            for b in [o, total - o] {
+                if b > 0 {
+                    time += pcie.explicit_copy_time(b);
+                    bytes += b;
+                }
+            }
+        }
+        (time, bytes)
+    }
+
+    #[test]
+    fn topology_kind_parse_roundtrips() {
+        for k in TopologyKind::ALL {
+            assert_eq!(TopologyKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(TopologyKind::parse("a2a"), Some(TopologyKind::AllToAll));
+        assert_eq!(TopologyKind::parse("HOST"), Some(TopologyKind::HostOnly));
+        assert_eq!(TopologyKind::parse("mesh"), None);
+    }
+
+    #[test]
+    fn link_counts_per_topology() {
+        let p = pcie();
+        let s = LinkSpec::nvlink();
+        assert_eq!(Interconnect::build(TopologyKind::HostOnly, 4, p, s).num_links(), 1);
+        assert_eq!(Interconnect::build(TopologyKind::Ring, 4, p, s).num_links(), 1 + 4);
+        assert_eq!(Interconnect::build(TopologyKind::Ring, 2, p, s).num_links(), 1 + 1);
+        assert_eq!(Interconnect::build(TopologyKind::Ring, 1, p, s).num_links(), 1);
+        assert_eq!(Interconnect::build(TopologyKind::AllToAll, 4, p, s).num_links(), 1 + 6);
+    }
+
+    #[test]
+    fn ring_routes_neighbours_direct_and_opposites_via_host() {
+        let ic = Interconnect::build(TopologyKind::Ring, 4, pcie(), LinkSpec::nvlink());
+        assert!(matches!(ic.route(0, 1), Route::Direct(_)));
+        assert!(matches!(ic.route(3, 0), Route::Direct(_)));
+        assert_eq!(ic.route(0, 2), Route::HostStaged);
+        assert_eq!(ic.route(1, 3), Route::HostStaged);
+        // Peer lookup is direction-agnostic.
+        assert_eq!(ic.peer_link(1, 0), ic.peer_link(0, 1));
+    }
+
+    #[test]
+    fn all_to_all_routes_everything_direct() {
+        let ic = Interconnect::build(TopologyKind::AllToAll, 5, pcie(), LinkSpec::nvlink());
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a != b {
+                    assert!(matches!(ic.route(a, b), Route::Direct(_)), "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_only_all_gather_is_bit_identical_to_legacy_serial_bus() {
+        let p = pcie();
+        let ic = Interconnect::host_only(4, p);
+        let owned = [1200u64, 0, 96, 50_000];
+        let participates = [true, true, true, false];
+        let r = ic.price_all_gather(&owned, &participates);
+        let (legacy_time, legacy_bytes) = legacy_serial_exchange(&p, &owned, &participates);
+        assert_eq!(r.makespan, legacy_time, "host-only must reduce to the serial bus exactly");
+        assert_eq!(r.host_time, legacy_time);
+        assert_eq!(r.host_bytes, legacy_bytes);
+        assert_eq!(r.peer_bytes, 0);
+        assert_eq!(r.peer_time, 0.0);
+        // Payload counts each record once per receiving peer.
+        assert_eq!(r.payload_bytes, (1200 + 96) * 2);
+    }
+
+    #[test]
+    fn payload_bytes_are_topology_invariant() {
+        let p = pcie();
+        let owned = [400u64, 900, 16, 0];
+        let participates = [true; 4];
+        let payloads: Vec<u64> = TopologyKind::ALL
+            .iter()
+            .map(|&k| {
+                Interconnect::build(k, 4, p, LinkSpec::nvlink())
+                    .price_all_gather(&owned, &participates)
+                    .payload_bytes
+            })
+            .collect();
+        assert_eq!(payloads[0], (400 + 900 + 16) * 3);
+        assert!(payloads.windows(2).all(|w| w[0] == w[1]), "{payloads:?}");
+    }
+
+    #[test]
+    fn peer_links_offload_and_shorten_the_exchange() {
+        let p = pcie();
+        // Large enough batches that bandwidth, not launch latency or TLP
+        // quantisation, dominates (tiny copies price identically on every
+        // route, which is the realistic fixed-cost floor).
+        let owned = [256_000u64; 4];
+        let participates = [true; 4];
+        let host = Interconnect::build(TopologyKind::HostOnly, 4, p, LinkSpec::nvlink())
+            .price_all_gather(&owned, &participates);
+        let ring = Interconnect::build(TopologyKind::Ring, 4, p, LinkSpec::nvlink())
+            .price_all_gather(&owned, &participates);
+        let a2a = Interconnect::build(TopologyKind::AllToAll, 4, p, LinkSpec::nvlink())
+            .price_all_gather(&owned, &participates);
+        assert!(ring.makespan < host.makespan, "ring {} host {}", ring.makespan, host.makespan);
+        assert!(a2a.makespan <= ring.makespan, "a2a {} ring {}", a2a.makespan, ring.makespan);
+        assert!(ring.host_bytes < host.host_bytes);
+        assert_eq!(a2a.host_bytes, 0, "a clique never stages through the host");
+        assert!(a2a.peer_bytes > 0 && ring.peer_bytes > 0);
+    }
+
+    #[test]
+    fn all_gather_degenerate_cases_are_free() {
+        let ic = Interconnect::build(TopologyKind::Ring, 3, pcie(), LinkSpec::nvlink());
+        // One participant: no peers.
+        let r = ic.price_all_gather(&[10, 0, 0], &[true, false, false]);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.payload_bytes, 0);
+        // Nothing to publish.
+        let r = ic.price_all_gather(&[0, 0, 0], &[true, true, true]);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!((r.host_bytes, r.peer_bytes), (0, 0));
+    }
+
+    #[test]
+    fn makespan_is_the_busiest_link() {
+        let ic = Interconnect::build(TopologyKind::Ring, 5, pcie(), LinkSpec::nvlink());
+        let r = ic.price_all_gather(&[100, 2000, 3, 77, 900], &[true; 5]);
+        let max = r.per_link_busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!((r.makespan - max).abs() < EPS);
+        for &busy in &r.per_link_busy {
+            assert!(busy <= r.makespan + EPS);
+        }
+        let sum: f64 = r.per_link_busy.iter().sum();
+        assert!((sum - r.host_time - r.peer_time).abs() < EPS);
+    }
+
+    #[test]
+    fn link_spec_scaling_shrinks_latency_only() {
+        let s = LinkSpec::nvlink();
+        let sc = s.scaled(10);
+        assert_eq!(sc.bandwidth, s.bandwidth);
+        assert!((sc.latency - s.latency / 1024.0).abs() < 1e-18);
+        assert_eq!(s.transfer_time(0), 0.0);
+        assert!(s.transfer_time(1 << 20) > s.latency);
+    }
+}

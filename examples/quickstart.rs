@@ -1,17 +1,31 @@
 //! Quickstart: run SSSP with HyTGraph on a synthetic power-law graph.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart              # host-only bus
+//! cargo run --release --example quickstart -- ring      # NVLink ring
+//! cargo run --release --example quickstart -- a2a       # full clique
 //! ```
 //!
 //! Shows the three-step API: build a graph, wrap it in a configured
 //! system, run a vertex program. The per-iteration report prints which
 //! transfer engines the cost model picked as the frontier evolved — the
-//! paper's core behaviour, visible in miniature.
+//! paper's core behaviour, visible in miniature. The optional argument
+//! selects the inter-device topology; peer links drain the frontier
+//! exchange off the shared PCIe root complex.
 
+use hytgraph::core::TopologyKind;
 use hytgraph::prelude::*;
 
 fn main() {
+    // Optional CLI arg: interconnect topology (host-only / ring / a2a).
+    let topology = std::env::args()
+        .nth(1)
+        .map(|s| {
+            TopologyKind::parse(&s)
+                .unwrap_or_else(|| panic!("unknown topology '{s}' (host-only | ring | all-to-all)"))
+        })
+        .unwrap_or(TopologyKind::HostOnly);
+
     // 1. A weighted RMAT graph: 2^14 vertices, ~16 edges/vertex.
     let graph = GraphBuilder::rmat(14, 16.0).seed(42).weighted(true).build();
     println!(
@@ -26,13 +40,14 @@ fn main() {
     //    contribution-driven scheduling, 4 CUDA streams per device — here
     //    sharded across two simulated 2080Ti-class GPUs. Sharding changes
     //    only the timeline: values are bit-identical to `num_devices: 1`.
-    let config = HyTGraphConfig { num_devices: 2, ..HyTGraphConfig::default() };
+    let config = HyTGraphConfig { num_devices: 2, topology, ..HyTGraphConfig::default() };
     let mut system = HyTGraphSystem::new(graph, config);
     println!(
-        "partitions: {} x {} KB across {} simulated GPUs",
+        "partitions: {} x {} KB across {} simulated GPUs ({} interconnect)",
         system.num_partitions(),
         system.config().partition_bytes / 1024,
         system.config().num_devices,
+        system.config().topology.name(),
     );
 
     // 3. Single-source shortest paths from vertex 0.
@@ -49,6 +64,16 @@ fn main() {
         "transfer volume: {:.1} KB ({:.2}x the edge data)",
         result.counters.total_transfer_bytes() as f64 / 1024.0,
         result.counters.transfer_ratio(system.edge_bytes())
+    );
+    let (mut host_us, mut peer_us) = (0.0, 0.0);
+    for it in &result.per_iteration {
+        host_us += it.exchange.host_time * 1e6;
+        peer_us += it.exchange.peer_time * 1e6;
+    }
+    println!(
+        "frontier exchange: {:.1} KB payload | {host_us:.1} us on the host link, \
+         {peer_us:.1} us on peer links",
+        result.counters.exchange_bytes as f64 / 1024.0,
     );
 
     println!("\nper-iteration engine mix (filter / compaction / zero-copy):");

@@ -119,7 +119,7 @@ fn extreme_selection_thresholds() {
     let oracle = hytgraph::algos::reference::dijkstra(&g, 0);
     for (alpha, beta) in [(0.0, 0.0), (10.0, 10.0)] {
         let cfg = HyTGraphConfig {
-            select_params: hytgraph::core::SelectParams { alpha, beta },
+            select_params: hytgraph::core::SelectParams { alpha, beta, ..Default::default() },
             ..HyTGraphConfig::default()
         };
         let mut sys = HyTGraphSystem::new(g.clone(), cfg);

@@ -13,7 +13,7 @@
 //! algorithms).
 
 use hytgraph::algos::reference;
-use hytgraph::core::{HyTGraphConfig, HyTGraphSystem, SystemKind};
+use hytgraph::core::{HyTGraphConfig, HyTGraphSystem, SystemKind, TopologyKind};
 use hytgraph::graph::generators;
 use hytgraph::graph::DeviceAssignment;
 use hytgraph::prelude::*;
@@ -117,7 +117,7 @@ fn per_device_stats_partition_the_iteration() {
                 it.time
             );
         }
-        assert!(it.exchange_time >= 0.0);
+        assert!(it.exchange.time >= 0.0);
     }
 }
 
@@ -149,6 +149,83 @@ fn sharded_baseline_systems_keep_oracle_results() {
         let r = sys.run(Sssp::from_source(0));
         assert_eq!(r.values, oracle, "{} diverged when sharded", kind.name());
     }
+}
+
+/// Run SSSP on `g` over `d` devices with `topo`, collecting values,
+/// iterations, exchange payload, and the summed per-link-class breakdown.
+fn run_topology(
+    g: &Csr,
+    d: usize,
+    topo: TopologyKind,
+) -> (Vec<u32>, u32, u64, hytgraph::core::ExchangeStats) {
+    let mut cfg = sharded_config(d, DeviceAssignment::EdgeBalanced);
+    cfg.topology = topo;
+    let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+    let r = sys.run(Sssp::from_source(0));
+    let mut x = hytgraph::core::ExchangeStats::default();
+    for it in &r.per_iteration {
+        x.merge(&it.exchange);
+    }
+    (r.values, r.iterations, r.counters.exchange_bytes, x)
+}
+
+#[test]
+fn topology_changes_the_timeline_but_never_the_computation() {
+    let g = generators::rmat(11, 10.0, 42, true);
+    let d = 4usize;
+    let (base_v, base_i, base_payload, base_x) = run_topology(&g, d, TopologyKind::HostOnly);
+    assert_eq!(base_x.peer_bytes, 0, "host-only has no peer links");
+    assert_eq!(base_x.peer_time, 0.0);
+    assert!(base_x.host_bytes > base_payload, "staged records cross two hops");
+    for topo in [TopologyKind::Ring, TopologyKind::AllToAll] {
+        let (v, i, payload, x) = run_topology(&g, d, topo);
+        assert_eq!((v, i), (base_v.clone(), base_i), "{topo:?} changed the computation");
+        assert_eq!(payload, base_payload, "{topo:?}: exchange payload must be routing-invariant");
+        assert!(x.peer_bytes > 0, "{topo:?} moved nothing over peer links");
+        assert!(
+            x.time < base_x.time,
+            "{topo:?} exchange {} not below host-only {}",
+            x.time,
+            base_x.time
+        );
+        if topo == TopologyKind::AllToAll {
+            // The clique never stages through the host.
+            assert_eq!(x.host_bytes, 0);
+            assert_eq!(x.host_time, 0.0);
+        }
+    }
+}
+
+#[test]
+fn overlap_exchange_hides_time_without_touching_values() {
+    let g = generators::rmat(11, 10.0, 9, true);
+    let run = |overlap: bool| {
+        let mut cfg = sharded_config(4, DeviceAssignment::EdgeBalanced);
+        cfg.overlap_exchange = overlap;
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        sys.run(Sssp::from_source(0))
+    };
+    let serial = run(false);
+    let overlapped = run(true);
+    assert_eq!(serial.values, overlapped.values);
+    assert_eq!(serial.iterations, overlapped.iterations);
+    assert!(
+        overlapped.total_time < serial.total_time,
+        "overlap should hide exchange time: {} vs {}",
+        overlapped.total_time,
+        serial.total_time
+    );
+    let hidden: f64 = overlapped.per_iteration.iter().map(|it| it.exchange.hidden).sum();
+    assert!(hidden > 0.0, "nothing was overlapped");
+    assert!(
+        (serial.total_time - overlapped.total_time - hidden).abs() < 1e-12,
+        "the saving must equal the hidden exchange time"
+    );
+    for it in &overlapped.per_iteration {
+        assert!(it.exchange.hidden <= it.exchange.time + 1e-15);
+        assert!(it.exchange.exposed() >= -1e-15);
+    }
+    assert!(serial.per_iteration.iter().all(|it| it.exchange.hidden == 0.0));
 }
 
 /// Strategy: seeded weighted RMAT graphs spanning several partitions.
@@ -196,5 +273,31 @@ proptest! {
         let (pd, pid) = run_pr(d);
         prop_assert_eq!(pd, p1);
         prop_assert_eq!(pid, pi1);
+    }
+
+    #[test]
+    fn random_graphs_are_topology_invariant(
+        g in arb_rmat(),
+        d in 2usize..=4,
+        ring in any::<bool>(),
+    ) {
+        // Values, iterations, and the logical exchange payload must not
+        // depend on how the interconnect routes the all-gather; only the
+        // per-link timeline may change.
+        let topo = if ring { TopologyKind::Ring } else { TopologyKind::AllToAll };
+        let (v_host, i_host, payload_host, x_host) = run_topology(&g, d, TopologyKind::HostOnly);
+        let (v, i, payload, x) = run_topology(&g, d, topo);
+        prop_assert_eq!(&v, &v_host);
+        prop_assert_eq!(i, i_host);
+        prop_assert_eq!(payload, payload_host);
+        // Peer routing never makes the exchange slower than full staging.
+        prop_assert!(x.time <= x_host.time + 1e-12);
+        // Host-only D=1 must stay exchange-free whatever the topology
+        // field says (no peers to talk to).
+        let (v1, i1, p1, x1) = run_topology(&g, 1, topo);
+        prop_assert_eq!(&v1, &v_host);
+        prop_assert_eq!(i1, i_host);
+        prop_assert_eq!(p1, 0);
+        prop_assert_eq!(x1.time, 0.0);
     }
 }

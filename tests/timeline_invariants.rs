@@ -10,7 +10,10 @@
 //! * the multi-device scheduler degenerates to `StreamSim` at `D = 1` and
 //!   keeps bus exclusivity *across* devices.
 
-use hytgraph::sim::{MultiGpuSim, Phase, PhaseSpan, Resource, SimTask, StreamSim, Timeline};
+use hytgraph::sim::{
+    Interconnect, LinkSpec, MultiGpuSim, PcieModel, Phase, PhaseSpan, Resource, SimTask, StreamSim,
+    Timeline, TopologyKind,
+};
 use proptest::prelude::*;
 
 const EPS: f64 = 1e-9;
@@ -109,12 +112,77 @@ proptest! {
         streams in 1usize..5,
     ) {
         let single = StreamSim::new(streams).schedule(&tasks);
-        let multi = MultiGpuSim::new(1, streams).schedule(&[tasks]);
+        let multi = MultiGpuSim::new(1, streams).schedule(std::slice::from_ref(&tasks));
         prop_assert_eq!(multi.makespan, single.makespan);
         prop_assert_eq!(multi.per_device[0].phase_spans.clone(), single.phase_spans);
         prop_assert_eq!(multi.bus_busy, single.pcie_busy);
         prop_assert_eq!(multi.cpu_busy, single.cpu_busy);
         prop_assert_eq!(multi.gpu_busy_total(), single.gpu_busy);
+        // D=1 with any topology still equals StreamSim: a single device
+        // has no peer to link to, so every shape degenerates to the one
+        // host root complex for task traffic.
+        for kind in TopologyKind::ALL {
+            let ic = Interconnect::build(kind, 1, PcieModel::pcie3(), LinkSpec::nvlink());
+            let tl = MultiGpuSim::with_interconnect(1, streams, ic).schedule(std::slice::from_ref(&tasks));
+            prop_assert_eq!(tl.makespan, single.makespan);
+            prop_assert_eq!(tl.link_busy[0], single.pcie_busy);
+            prop_assert_eq!(tl.per_device[0].phase_spans.clone(), single.phase_spans.clone());
+        }
+    }
+
+    #[test]
+    fn per_link_busy_never_exceeds_makespan(
+        lists in proptest::collection::vec(proptest::collection::vec(arb_task(), 0..8), 2..5),
+        streams in 1usize..4,
+        kind_idx in 0usize..3,
+    ) {
+        let nd = lists.len();
+        let kind = TopologyKind::ALL[kind_idx];
+        let ic = Interconnect::build(kind, nd, PcieModel::pcie3(), LinkSpec::nvlink());
+        let num_links = ic.num_links();
+        let tl = MultiGpuSim::with_interconnect(nd, streams, ic).schedule(&lists);
+        prop_assert_eq!(tl.link_busy.len(), num_links);
+        for (l, &busy) in tl.link_busy.iter().enumerate() {
+            prop_assert!(busy <= tl.makespan + EPS, "link {l} busy {busy} > makespan {}", tl.makespan);
+            prop_assert!(busy >= 0.0);
+        }
+        // Task traffic is host-routed: the host link's busy time is the
+        // bus total and the peer links stay idle.
+        prop_assert!((tl.link_busy[0] - tl.bus_busy).abs() < EPS);
+        prop_assert!(tl.link_busy[1..].iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn exchange_report_invariants_hold(
+        owned in proptest::collection::vec(0u64..2_000_000, 2..7),
+        kind_idx in 0usize..3,
+    ) {
+        let nd = owned.len();
+        let kind = TopologyKind::ALL[kind_idx];
+        let pcie = PcieModel::pcie3();
+        let peer = LinkSpec::nvlink();
+        let participates = vec![true; nd];
+        let r = Interconnect::build(kind, nd, pcie, peer).price_all_gather(&owned, &participates);
+        // Per-link busy never exceeds the makespan, which is exactly the
+        // busiest link (legs on disjoint links overlap fully).
+        let busiest = r.per_link_busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        prop_assert!((r.makespan - busiest).abs() < EPS);
+        for &b in &r.per_link_busy {
+            prop_assert!(b <= r.makespan + EPS);
+        }
+        // Class totals tile the per-link vector.
+        let sum: f64 = r.per_link_busy.iter().sum();
+        prop_assert!((sum - r.host_time - r.peer_time).abs() < EPS);
+        // The logical payload is routing-invariant…
+        let host = Interconnect::build(TopologyKind::HostOnly, nd, pcie, peer)
+            .price_all_gather(&owned, &participates);
+        prop_assert_eq!(r.payload_bytes, host.payload_bytes);
+        // …and peer links (at least as fast as the host link here) never
+        // make the exchange slower than full host staging.
+        prop_assert!(r.makespan <= host.makespan + EPS);
+        // Host-only is the legacy serial bus: makespan == host busy.
+        prop_assert_eq!(host.makespan, host.host_time);
+        prop_assert_eq!(host.peer_bytes, 0);
     }
 }
 
