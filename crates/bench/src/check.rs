@@ -315,6 +315,94 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         ));
     }
 
+    // ISSUE 4: full-duplex peer links overlap the symmetric legs of the
+    // ring exchange — the PR 3 half-duplex model under-reports rings, so
+    // the full-duplex exchange must be strictly faster at D in {4, 8}
+    // while values and iterations stay bit-identical (duplex is a
+    // queueing discipline, never a semantic change).
+    {
+        let g = hyt_graph::generators::power_law_preferential(1 << 14, 12.0, 2.2, 7, true);
+        let src = crate::context::source_vertex(&g);
+        let run = |d: usize, half: bool| {
+            let mut cfg = SystemKind::HyTGraph.configure(base_config());
+            cfg.num_devices = d;
+            cfg.topology = hyt_core::TopologyKind::Ring;
+            if half {
+                cfg.peer_link = cfg.peer_link.half_duplex();
+            }
+            cfg.threads = 1;
+            let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg);
+            let r = sys.run(hyt_algos::Sssp::from_source(src));
+            let exchange: f64 = r.per_iteration.iter().map(|it| it.exchange.time).sum();
+            (r.values, r.iterations, exchange)
+        };
+        let mut pass = true;
+        let mut evidence = String::new();
+        for d in [4usize, 8] {
+            let (vh, ih, xh) = run(d, true);
+            let (vf, if_, xf) = run(d, false);
+            pass &= xf < xh && vh == vf && ih == if_;
+            evidence.push_str(&format!(
+                "D={d}: half-duplex {:.3}ms -> full-duplex {:.3}ms, values/iters match: {}; ",
+                xh * 1e3,
+                xf * 1e3,
+                vh == vf && ih == if_
+            ));
+        }
+        out.push(CheckResult::new(
+            "Duplex: full-duplex ring strictly beats half-duplex ring at D in {4,8}",
+            pass,
+            evidence,
+        ));
+    }
+
+    // ISSUE 4: routing is cost-aware per link — on a uniform D=8 ring
+    // every pair rides the peer fabric (direct or forwarded), but
+    // derating one bridge to 2 GB/s must shift its pair back to host
+    // staging (the detour and the slow hop both price above two host
+    // copies), with values unchanged.
+    {
+        use hyt_core::{LinkSpec, Route};
+        let g = hyt_graph::generators::power_law_preferential(1 << 14, 12.0, 2.2, 7, true);
+        let src = crate::context::source_vertex(&g);
+        let run = |overrides: Vec<(u32, u32, LinkSpec)>| {
+            let mut cfg = SystemKind::HyTGraph.configure(base_config());
+            cfg.num_devices = 8;
+            cfg.topology = hyt_core::TopologyKind::Ring;
+            cfg.link_overrides = overrides;
+            cfg.threads = 1;
+            let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg);
+            let staged = matches!(sys.interconnect().route(0, 1), Route::HostStaged);
+            let r = sys.run(hyt_algos::Sssp::from_source(src));
+            let mut x = hyt_core::ExchangeStats::default();
+            for it in &r.per_iteration {
+                x.merge(&it.exchange);
+            }
+            (r.values, staged, x)
+        };
+        let slow_spec = LinkSpec::with_nominal_bw(2.0e9).scaled(crate::context::SCALE_SHIFT);
+        let (v_uni, staged_uni, x_uni) = run(Vec::new());
+        let (v_slow, staged_slow, x_slow) = run(vec![(0, 1, slow_spec)]);
+        out.push(CheckResult::new(
+            "Routing: a slow mixed-generation bridge flips its pair back to host staging",
+            !staged_uni
+                && x_uni.host_bytes == 0
+                && staged_slow
+                && x_slow.host_bytes > 0
+                && v_uni == v_slow,
+            format!(
+                "uniform ring: (0,1) host-staged={staged_uni}, host KB {:.1}, fwd KB {:.1}; \
+                 slow bridge: (0,1) host-staged={staged_slow}, host KB {:.1}, fwd KB {:.1}; \
+                 values match: {}",
+                x_uni.host_bytes as f64 / 1024.0,
+                x_uni.forwarded_bytes as f64 / 1024.0,
+                x_slow.host_bytes as f64 / 1024.0,
+                x_slow.forwarded_bytes as f64 / 1024.0,
+                v_uni == v_slow
+            ),
+        ));
+    }
+
     // Fig 9: Grus degrades far faster than HyTGraph across the size sweep.
     {
         let sweep = hyt_graph::datasets::rmat_sweep();

@@ -148,6 +148,7 @@ pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
                 "exch peer",
                 "host KB",
                 "peer KB",
+                "fwd KB",
                 "values==host-only",
             ],
         );
@@ -162,6 +163,7 @@ pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
                     secs(p.exchange.peer_time),
                     format!("{:.1}", p.exchange.host_bytes as f64 / 1024.0),
                     format!("{:.1}", p.exchange.peer_bytes as f64 / 1024.0),
+                    format!("{:.1}", p.exchange.forwarded_bytes as f64 / 1024.0),
                     if p.identical { "yes".into() } else { "NO".into() },
                 ]);
             }

@@ -9,7 +9,12 @@
 //!   run at the swept nominal bandwidth (one interconnect generation at
 //!   a time);
 //! * **axis 2 — topology**: host-only / ring / all-to-all at `D = 4`
-//!   devices, with contention-aware engine selection on.
+//!   devices, with contention-aware engine selection on;
+//! * **axis 3 — mixed generations** (ISSUE 4): a `D = 8` ring whose
+//!   bridges carry *different* specs — PR 3's uniform half-duplex model
+//!   beside the full-duplex fix, an alternating NVLink2/NVLink4 ring,
+//!   and a ring with one 2 GB/s bridge whose pair routing sends back to
+//!   host staging while its neighbours detour device-via-device.
 //!
 //! Three findings the tables show:
 //!
@@ -22,9 +27,14 @@
 //!    moves with contention, ROADMAP item 4) — compare the D=1 and D=8
 //!    mix rows;
 //! 3. peer topologies drain the exchange off the host link: the per-link
-//!    class breakdown shows host bytes collapsing to zero on the clique.
+//!    class breakdown shows host bytes collapsing to zero on the clique;
+//! 4. full-duplex rings overlap the two directions of every bridge and
+//!    forward distance ≥ 2 pairs device-via-device, so the half-duplex
+//!    PR 3 row over-reports the ring exchange, and the slow-bridge row
+//!    shows bytes reappearing on the host link.
 //!
-//! Set `REPRO_SMOKE=1` to run a reduced sweep (2 bandwidths) in CI.
+//! Set `REPRO_SMOKE=1` to run a reduced sweep (2 bandwidths; the
+//! mixed-generation axis always runs) in CI.
 
 use crate::context::{base_config, run_algo_with_config, Ctx};
 use crate::table::{pct, secs, Table};
@@ -35,6 +45,43 @@ use hyt_sim::{MachineModel, PcieModel, UmModel};
 
 /// Devices in the topology/contention axis.
 const SWEEP_DEVICES: usize = 4;
+
+/// Devices in the mixed-generation ring axis (8, so the detour around a
+/// slow bridge is long enough that host staging wins for its pair).
+const MIXED_DEVICES: usize = 8;
+
+/// The mixed-generation ring rows: `(label, config)`.
+fn mixed_ring_rows() -> Vec<(&'static str, HyTGraphConfig)> {
+    let shift = crate::context::SCALE_SHIFT;
+    let ring = |peer: LinkSpec, overrides: Vec<(u32, u32, LinkSpec)>| {
+        let base = HyTGraphConfig {
+            topology: TopologyKind::Ring,
+            peer_link: peer,
+            link_overrides: overrides,
+            num_devices: MIXED_DEVICES,
+            threads: 1,
+            ..base_config()
+        };
+        SystemKind::HyTGraph.configure(base)
+    };
+    let nvlink2 = LinkSpec::nvlink().scaled(shift);
+    // Alternate NVLink4-class x8 bridges with NVLink2-class x4 bridges.
+    let alternating: Vec<(u32, u32, LinkSpec)> = (0..MIXED_DEVICES as u32)
+        .filter(|d| d % 2 == 0)
+        .map(|d| {
+            (d, (d + 1) % MIXED_DEVICES as u32, LinkSpec::with_nominal_bw(200.0e9).scaled(shift))
+        })
+        .collect();
+    vec![
+        ("uniform NVLink2, half-duplex (PR 3)", ring(nvlink2.half_duplex(), Vec::new())),
+        ("uniform NVLink2, full-duplex", ring(nvlink2, Vec::new())),
+        ("alternating NVLink4/NVLink2", ring(nvlink2, alternating)),
+        (
+            "one 2 GB/s bridge (0, 1)",
+            ring(nvlink2, vec![(0, 1, LinkSpec::with_nominal_bw(2.0e9).scaled(shift))]),
+        ),
+    ]
+}
 
 /// A machine whose host link runs at `nominal_bw` (bytes/s), everything
 /// else the paper platform.
@@ -119,6 +166,7 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
             "exch peer",
             "host KB",
             "peer KB",
+            "fwd KB",
         ],
     );
     for &(label, bw) in links {
@@ -126,12 +174,9 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
             let cfg = cell_config(bw, topo, SWEEP_DEVICES);
             let m = run_algo_with_config(SystemKind::HyTGraph, AlgoKind::Sssp, &g, cfg);
             let (f, c, z, _) = mix_of(&m.per_iteration).fractions();
-            let (mut xh, mut xp, mut bh, mut bp) = (0.0, 0.0, 0u64, 0u64);
+            let mut x = hyt_core::ExchangeStats::default();
             for it in &m.per_iteration {
-                xh += it.exchange.host_time;
-                xp += it.exchange.peer_time;
-                bh += it.exchange.host_bytes;
-                bp += it.exchange.peer_bytes;
+                x.merge(&it.exchange);
             }
             grid.row(vec![
                 label.to_string(),
@@ -140,12 +185,43 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
                 pct(f),
                 pct(c),
                 pct(z),
-                secs(xh),
-                secs(xp),
-                format!("{:.1}", bh as f64 / 1024.0),
-                format!("{:.1}", bp as f64 / 1024.0),
+                secs(x.host_time),
+                secs(x.peer_time),
+                format!("{:.1}", x.host_bytes as f64 / 1024.0),
+                format!("{:.1}", x.peer_bytes as f64 / 1024.0),
+                format!("{:.1}", x.forwarded_bytes as f64 / 1024.0),
             ]);
         }
+    }
+
+    // Mixed-generation axis (ISSUE 4): a D = 8 ring on the paper's PCIe3
+    // host, with per-link specs. Rows walk from PR 3's uniform
+    // half-duplex model to the full-duplex fix, an alternating
+    // NVLink2/NVLink4 ring, and a 2 GB/s slow bridge — the last sends
+    // its pair back to host staging (host KB > 0) while neighbours
+    // detour device-via-device (fwd KB grows).
+    let mut mixed = Table::new(
+        format!(
+            "Extension: mixed-generation ring (HyTGraph SSSP on FS, D={MIXED_DEVICES}, PCIe3 host)"
+        ),
+        &["ring", "time", "exch", "exch host", "exch peer", "host KB", "peer KB", "fwd KB"],
+    );
+    for (label, cfg) in mixed_ring_rows() {
+        let m = run_algo_with_config(SystemKind::HyTGraph, AlgoKind::Sssp, &g, cfg);
+        let mut x = hyt_core::ExchangeStats::default();
+        for it in &m.per_iteration {
+            x.merge(&it.exchange);
+        }
+        mixed.row(vec![
+            label.to_string(),
+            secs(m.total_time),
+            secs(x.time),
+            secs(x.host_time),
+            secs(x.peer_time),
+            format!("{:.1}", x.host_bytes as f64 / 1024.0),
+            format!("{:.1}", x.peer_bytes as f64 / 1024.0),
+            format!("{:.1}", x.forwarded_bytes as f64 / 1024.0),
+        ]);
     }
 
     // Contention axis: the engine mix vs device count on the paper's
@@ -162,5 +238,5 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
         contention.row(vec![d.to_string(), pct(f), pct(c), pct(z)]);
     }
 
-    vec![runtime, base_mix, grid, contention]
+    vec![runtime, base_mix, grid, mixed, contention]
 }

@@ -60,10 +60,25 @@ pub struct HyTGraphConfig {
     /// Interconnect shape between the devices: host-only (every byte
     /// staged through the shared PCIe root complex — the paper's
     /// platform), or NVLink-style peer links in a ring / fully-connected
-    /// clique that the frontier exchange routes over.
+    /// clique that the frontier exchange routes over (direct, forwarded
+    /// device-via-device, or host-staged — whichever prices cheapest).
     pub topology: TopologyKind,
-    /// Bandwidth/latency of each peer link when `topology` has any.
+    /// Bandwidth/latency/duplex of each peer link when `topology` has
+    /// any. Full-duplex by default (per-direction queues); call
+    /// [`LinkSpec::half_duplex`] for the conservative PR 3 queueing
+    /// discipline. Host-only configs and uniform half-duplex *cliques*
+    /// price bit-identically to PR 3; rings do not, because routing now
+    /// forwards distance ≥ 2 pairs device-via-device instead of always
+    /// host-staging them (that mispricing was the bug).
     pub peer_link: LinkSpec,
+    /// Per-link spec overrides applied on top of the uniform `topology`
+    /// build: each `(a, b, spec)` entry re-prices the peer link between
+    /// devices `a` and `b` — or adds one when the shape has none — so
+    /// mixed-generation rings and arbitrary heterogeneous meshes are
+    /// plain configuration. Routing re-plans around the edited links
+    /// (e.g. a slow bridge sends its pair back to host staging). Empty
+    /// by default.
+    pub link_overrides: Vec<(u32, u32, LinkSpec)>,
     /// Overlap the inter-device frontier exchange with the next
     /// iteration's cost analysis instead of pricing it as a post-barrier
     /// serial segment (ROADMAP item 3). Off by default so the serial
@@ -107,6 +122,7 @@ impl Default for HyTGraphConfig {
             device_assignment: DeviceAssignment::EdgeBalanced,
             topology: TopologyKind::HostOnly,
             peer_link: LinkSpec::nvlink().scaled(SCALE_SHIFT),
+            link_overrides: Vec::new(),
             overlap_exchange: false,
             contention_aware_selection: false,
             num_streams: 4,
@@ -142,6 +158,8 @@ mod tests {
         assert_eq!(c.num_devices, 1, "the paper's platform is single-GPU");
         assert_eq!(c.device_assignment, DeviceAssignment::EdgeBalanced);
         assert_eq!(c.topology, TopologyKind::HostOnly, "the paper's platform has no peer links");
+        assert!(c.link_overrides.is_empty(), "uniform links unless configured otherwise");
+        assert_eq!(c.peer_link.duplex, hyt_sim::Duplex::Full, "NVLink is full-duplex");
         assert!(!c.overlap_exchange, "the serial exchange is the reproducible baseline");
         assert!(!c.contention_aware_selection, "contended costs are opt-in");
         assert_eq!(c.select_params.contention, 1.0);

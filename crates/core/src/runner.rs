@@ -25,9 +25,12 @@
 //! devices contend for the configured [`Interconnect`]'s links and one
 //! host compaction pool ([`MultiGpuSim`]). Between iterations a routed
 //! all-gather publishes every device's newly-activated owned vertices
-//! (id + 64-bit value) to the peers: pairs with a direct NVLink-class
-//! peer link (`config.topology` ring / all-to-all) send on it, the rest
-//! stage through the host root complex; legs on disjoint links overlap.
+//! (id + 64-bit value) to the peers along each pair's cheapest path: a
+//! direct NVLink-class peer link (`config.topology` ring / all-to-all,
+//! optionally re-priced per link by `config.link_overrides`), a
+//! forwarded device-via-device multi-hop path, or staging through the
+//! host root complex; legs on disjoint direction queues overlap (peer
+//! links are full-duplex by default).
 //! With `config.overlap_exchange` the exchange further hides under the
 //! next iteration's cost analysis instead of sitting after the barrier.
 //!
@@ -117,12 +120,15 @@ impl HyTGraphSystem {
             config.device_assignment,
             num_hubs,
         );
-        let interconnect = Interconnect::build(
+        let mut interconnect = Interconnect::build(
             config.topology,
             devices.num_devices() as usize,
             config.machine.pcie,
             config.peer_link,
         );
+        for &(a, b, spec) in &config.link_overrides {
+            interconnect = interconnect.with_link_spec(a, b, spec);
+        }
         let mut shard_holders = vec![false; devices.num_devices() as usize];
         for pid in 0..parts.len() as u32 {
             shard_holders[devices.device_of(pid) as usize] = true;
@@ -215,6 +221,17 @@ impl HyTGraphSystem {
             })
             .collect();
         let mut per_iteration = Vec::new();
+        // Per-device publication sizes of the frontier exchange, reused
+        // across iterations instead of reallocating in the hot loop.
+        let mut exchange_owned = vec![0u64; self.devices.num_devices() as usize];
+        // The scheduler is run-constant; building it here avoids
+        // deep-cloning the interconnect (dense route table included)
+        // every iteration.
+        let sim = MultiGpuSim::with_interconnect(
+            self.devices.num_devices() as usize,
+            self.config.num_streams,
+            self.interconnect.clone(),
+        );
         let mut total_counters = TransferCounters::new();
         let mut total_time = self.config.startup_edge_passes * (self.num_edges() * bpe) as f64
             / self.config.machine.compaction_bw;
@@ -232,6 +249,8 @@ impl HyTGraphSystem {
                     bpe,
                     &mut um_states,
                     &mut grus_states,
+                    &mut exchange_owned,
+                    &sim,
                 )
             };
             total_time += stats.time;
@@ -279,6 +298,8 @@ impl HyTGraphSystem {
         bpe: u64,
         um_states: &mut [UnifiedState],
         grus_states: &mut [GrusState],
+        exchange_owned: &mut [u64],
+        sim: &MultiGpuSim,
     ) -> IterationStats {
         let cfg = &self.config;
         let machine = &cfg.machine;
@@ -430,11 +451,9 @@ impl HyTGraphSystem {
 
         // Each device's slice list inherits the global priority order
         // restricted to that device — per-device priority ordering for
-        // free. Play them against the interconnect's link queues.
-        let timeline =
-            MultiGpuSim::with_interconnect(nd, cfg.num_streams, self.interconnect.clone())
-                .schedule(&dev_tasks);
-        let exchange_report = self.price_exchange(&next);
+        // free. Play them against the interconnect's contention queues.
+        let timeline = sim.schedule(&dev_tasks);
+        let exchange_report = self.price_exchange(&next, exchange_owned);
         counters.exchange_bytes += exchange_report.payload_bytes;
         // With overlap on, the exchange hides under the next iteration's
         // cost analysis (the fixed orchestration overhead below): only
@@ -497,24 +516,27 @@ impl HyTGraphSystem {
     /// Price the end-of-iteration all-gather (D > 1 only): each device
     /// publishes the `(id, value)` records of its newly-activated owned
     /// vertices and receives every other shard-holder's batch, routed
-    /// over the configured interconnect — direct where a peer link
-    /// exists, staged through the host root complex otherwise, with legs
-    /// queueing per link ([`Interconnect::price_all_gather`]).
+    /// over the configured interconnect on each pair's cheapest path —
+    /// a direct peer link, a forwarded multi-hop peer path, or staging
+    /// through the host root complex — with legs queueing per direction
+    /// queue ([`Interconnect::price_all_gather`]).
     ///
     /// Only devices that own a shard participate: a spare device with no
     /// partitions computes nothing, so it neither publishes nor
     /// subscribes (otherwise idle devices would inflate the exchange
-    /// linearly when D exceeds the partition count).
-    fn price_exchange(&self, next: &Frontier) -> ExchangeReport {
+    /// linearly when D exceeds the partition count). `owned` is
+    /// caller-provided scratch (one slot per device), reused across
+    /// iterations.
+    fn price_exchange(&self, next: &Frontier, owned: &mut [u64]) -> ExchangeReport {
         let nd = self.devices.num_devices() as usize;
         if nd <= 1 {
             return ExchangeReport::default();
         }
-        let mut owned = vec![0u64; nd];
+        owned.fill(0);
         for v in next.iter() {
             owned[self.devices.device_of(self.parts.owner_of(v)) as usize] += EXCHANGE_RECORD_BYTES;
         }
-        self.interconnect.price_all_gather(&owned, &self.shard_holders)
+        self.interconnect.price_all_gather(owned, &self.shard_holders)
     }
 
     /// Newly-activated vertices that the already-loaded task data can

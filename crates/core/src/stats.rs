@@ -87,8 +87,13 @@ pub struct ExchangeStats {
     /// Bytes that crossed the host root complex (staged records count
     /// on both hops).
     pub host_bytes: u64,
-    /// Bytes that crossed direct peer links.
+    /// Bytes that crossed peer links (a forwarded record counts on
+    /// every hop).
     pub peer_bytes: u64,
+    /// Bytes relayed device-via-device through intermediate hops of
+    /// forwarded routes (zero when every route is direct or
+    /// host-staged).
+    pub forwarded_bytes: u64,
 }
 
 impl ExchangeStats {
@@ -107,6 +112,7 @@ impl ExchangeStats {
         self.peer_time += other.peer_time;
         self.host_bytes += other.host_bytes;
         self.peer_bytes += other.peer_bytes;
+        self.forwarded_bytes += other.forwarded_bytes;
     }
 }
 
@@ -121,6 +127,7 @@ impl From<&hyt_sim::ExchangeReport> for ExchangeStats {
             peer_time: r.peer_time,
             host_bytes: r.host_bytes,
             peer_bytes: r.peer_bytes,
+            forwarded_bytes: r.forwarded_bytes,
         }
     }
 }

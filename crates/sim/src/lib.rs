@@ -29,8 +29,11 @@
 //!   kernel engines behind a routed interconnect and one host compaction
 //!   pool.
 //! * [`topology`] — the interconnect itself: host root complex plus
-//!   optional NVLink-class peer links (ring / all-to-all), transfer
-//!   routing, and per-link contention pricing of the frontier all-gather.
+//!   optional NVLink-class peer links (ring / all-to-all / heterogeneous
+//!   meshes, each link with its own spec and duplex discipline), cheapest-
+//!   path transfer routing (direct, device-via-device forwarded, or
+//!   host-staged), and per-direction-queue contention pricing of the
+//!   frontier all-gather.
 //! * [`clock`] — transfer/volume counters used by Table VI.
 
 pub mod clock;
@@ -49,7 +52,8 @@ pub use multi::{MultiGpuSim, MultiTimeline};
 pub use pcie::PcieModel;
 pub use streams::{Phase, PhaseSpan, Resource, SimTask, StreamSim, Timeline};
 pub use topology::{
-    ExchangeReport, Interconnect, Link, LinkClass, LinkRate, LinkSpec, Route, TopologyKind,
+    Duplex, ExchangeReport, Interconnect, Link, LinkClass, LinkRate, LinkSpec, Route, TopologyKind,
+    ROUTE_PROBE_BYTES,
 };
 pub use um::{UmCache, UmModel};
 

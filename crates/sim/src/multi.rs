@@ -6,13 +6,14 @@
 //! kernel engine (kernels on *different* devices overlap freely), while
 //! two resource families stay shared across the whole host:
 //!
-//! * **Interconnect links** — each link of the configured
-//!   [`Interconnect`] is its own contention queue. Edge-slice transfers
-//!   and zero-copy reads are host-routed (the data lives in host
-//!   memory), so they queue on the host root complex from every device —
-//!   with the host-only topology this is exactly the legacy single
-//!   shared bus. Peer links carry the inter-device frontier exchange,
-//!   priced by [`Interconnect::price_all_gather`].
+//! * **Interconnect queues** — each contention queue of the configured
+//!   [`Interconnect`] (one for the host root complex, one per direction
+//!   of every full-duplex peer link) is tracked independently.
+//!   Edge-slice transfers and zero-copy reads are host-routed (the data
+//!   lives in host memory), so they queue on the host root complex from
+//!   every device — with the host-only topology this is exactly the
+//!   legacy single shared bus. Peer queues carry the inter-device
+//!   frontier exchange, priced by [`Interconnect::price_all_gather`].
 //! * **CPU** — the host compaction pool serves every device's gather
 //!   requests and serialises with itself.
 //!
@@ -43,9 +44,11 @@ pub struct MultiTimeline {
     /// order — bus exclusivity must hold across devices, not just within
     /// one device's timeline.
     pub bus_spans: Vec<(u32, SimTime, SimTime)>,
-    /// Busy time per interconnect link (index = link id, host root
-    /// complex first). Task traffic is host-routed, so peer entries stay
-    /// zero here; the frontier exchange occupies them separately.
+    /// Busy time per interconnect contention queue (index = queue id:
+    /// host root complex first, then each peer link's direction queues
+    /// in link order — see [`Interconnect::queue`]). Task traffic is
+    /// host-routed, so peer entries stay zero here; the frontier
+    /// exchange occupies them separately.
     pub link_busy: Vec<SimTime>,
 }
 
@@ -100,22 +103,28 @@ impl MultiGpuSim {
         MultiGpuSim { num_devices: nd, num_streams: num_streams.max(1), interconnect }
     }
 
+    /// Contention queue serving `device`'s host-side task traffic (the
+    /// host root complex is a single queue in both directions).
+    fn host_queue_of(&self, device: u32) -> usize {
+        self.interconnect.queue(self.interconnect.host_link_of(device), false)
+    }
+
     /// Play one priority-ordered task list per device and return the
     /// merged timeline. `tasks.len()` must equal `num_devices`.
     pub fn schedule(&self, tasks: &[Vec<SimTask>]) -> MultiTimeline {
         assert_eq!(tasks.len(), self.num_devices, "one task list per device");
         let nd = self.num_devices;
-        // One contention queue per interconnect link. Host-routed task
-        // traffic from device `d` queues on `host_link_of(d)` — with one
-        // root complex that is the legacy single shared bus.
-        let mut link_free = vec![0.0f64; self.interconnect.num_links()];
+        // One slot per interconnect contention queue. Host-routed task
+        // traffic from device `d` queues on `host_link_of(d)`'s single
+        // queue — with one root complex that is the legacy shared bus.
+        let mut link_free = vec![0.0f64; self.interconnect.num_queues()];
         let mut cpu_free = 0.0f64;
         let mut gpu_free = vec![0.0f64; nd];
         let mut stream_free = vec![vec![0.0f64; self.num_streams]; nd];
         let mut next = vec![0usize; nd];
         let mut tl = MultiTimeline {
             per_device: vec![Timeline::default(); nd],
-            link_busy: vec![0.0; self.interconnect.num_links()],
+            link_busy: vec![0.0; self.interconnect.num_queues()],
             ..Default::default()
         };
 
@@ -127,7 +136,7 @@ impl MultiGpuSim {
                     continue;
                 }
                 let task = &queue[next[d]];
-                let host = self.interconnect.host_link_of(d as u32);
+                let host = self.host_queue_of(d as u32);
                 let (sid, cursor) = earliest_stream(&stream_free[d]);
                 let start = match task.phases.first() {
                     Some(Phase::Cpu(_)) => cursor.max(cpu_free),
@@ -144,7 +153,7 @@ impl MultiGpuSim {
             let task = &tasks[d][next[d]];
             let tid = next[d];
             next[d] += 1;
-            let host = self.interconnect.host_link_of(d as u32);
+            let host = self.host_queue_of(d as u32);
 
             let dev_tl = &mut tl.per_device[d];
             let mut cursor = stream_free[d][sid];
@@ -323,9 +332,11 @@ mod tests {
         let ic = Interconnect::build(TopologyKind::Ring, 2, PcieModel::pcie3(), LinkSpec::nvlink());
         let t = || vec![explicit("t", 3.0, 1.0), SimTask::zero_copy("z", 2.0, 0.5)];
         let tl = MultiGpuSim::with_interconnect(2, 4, ic).schedule(&[t(), t()]);
-        assert_eq!(tl.link_busy.len(), 2); // host root complex + one peer link
+        // Host root complex + two direction queues of the full-duplex
+        // peer link.
+        assert_eq!(tl.link_busy.len(), 3);
         assert!((tl.link_busy[0] - tl.bus_busy).abs() < 1e-12);
-        assert_eq!(tl.link_busy[1], 0.0, "task traffic is host-routed");
+        assert!(tl.link_busy[1..].iter().all(|&b| b == 0.0), "task traffic is host-routed");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Topology-aware interconnect: links, routes, and per-link contention.
+//! Topology-aware interconnect: heterogeneous links, routed (possibly
+//! multi-hop) paths, and per-direction contention.
 //!
 //! PR 2's multi-device model priced every byte — edge slices *and* the
 //! inter-device frontier exchange — on one shared PCIe root complex,
@@ -9,30 +10,48 @@
 //! * a [`Link`] is one contended wire with its own pricing: the **host
 //!   root complex** (all devices' PCIe lanes converge there, priced with
 //!   the TLP-quantised [`PcieModel`]) or an **NVLink-class peer link**
-//!   between two devices (smooth latency + bandwidth, [`LinkSpec`]);
-//! * an [`Interconnect`] is a set of links in one of three shapes
-//!   ([`TopologyKind`]): host-only (the legacy shared bus), a ring of
-//!   neighbour links, or a fully-connected clique;
-//! * [`Interconnect::route`] maps a device-to-device transfer to a priced
-//!   path — **direct** over a peer link when one exists, **host-staged**
-//!   (store-and-forward through host memory, up then down on the root
-//!   complex) when none does;
+//!   between two devices (smooth latency + bandwidth, [`LinkSpec`]).
+//!   Every peer link carries its *own* spec, so mixed-generation meshes
+//!   (x4 beside x8 bridges, NVLink 2 beside NVLink 4) are first-class —
+//!   see [`Interconnect::ring_with_specs`], [`Interconnect::mesh`], and
+//!   [`Interconnect::with_link_spec`];
+//! * peer links are **full-duplex by default** ([`Duplex::Full`]): each
+//!   direction owns its own contention queue, so the two legs of a
+//!   symmetric exchange overlap instead of serialising. [`Duplex::Half`]
+//!   keeps the PR 3 model (both directions share one queue) and prices
+//!   bit-identically to it. The host root complex always stays **one**
+//!   TLP-quantised queue, preserving the legacy shared-bus reduction;
+//! * an [`Interconnect`] is a set of links in one of three named shapes
+//!   ([`TopologyKind`]) — host-only (the legacy shared bus), a ring of
+//!   neighbour links, or a fully-connected clique — optionally edited
+//!   per link into an arbitrary heterogeneous mesh;
+//! * [`Interconnect::route`] returns the **cheapest priced path** for a
+//!   device-to-device transfer, chosen at build time from a dense route
+//!   table: **direct** over a peer link, **forwarded** device-via-device
+//!   over a multi-hop peer path (store-and-forward on every hop), or
+//!   **host-staged** (up then down on the root complex) when the peer
+//!   fabric is absent or slower. A slow bridge therefore shifts its
+//!   pair's traffic back to host staging instead of being used blindly;
 //! * [`Interconnect::price_all_gather`] plays a frontier all-gather
-//!   against per-link contention queues: legs on disjoint links overlap,
-//!   legs sharing a link serialise. With the host-only topology this
-//!   reduces *bit-identically* to the legacy serial-bus pricing (asserted
-//!   by tests), so every pre-topology differential guarantee carries
-//!   over.
-//!
-//! Peer links are modelled half-duplex (both directions of one link share
-//! its queue) — conservative for NVLink, which is full-duplex, and the
-//! simpler invariant to test.
+//!   against the per-direction contention queues: legs on disjoint
+//!   queues overlap, legs sharing a queue serialise. With the host-only
+//!   topology this reduces *bit-identically* to the legacy serial-bus
+//!   pricing (asserted by tests), so every pre-topology differential
+//!   guarantee carries over; uniform-spec half-duplex cliques reduce
+//!   bit-identically to the PR 3 per-link queues.
 
 use crate::pcie::PcieModel;
 use crate::SimTime;
 
 /// Index of the host root complex in every [`Interconnect`]'s link table.
 pub const HOST_LINK: usize = 0;
+
+/// Probe payload used to price candidate routes when the dense route
+/// table is built: large enough that sustained bandwidth (not launch
+/// latency) dominates, so route choices reflect link *generations* rather
+/// than fixed costs. One probe prices one hop; host staging is priced as
+/// one upload plus one download of the probe on the root complex.
+pub const ROUTE_PROBE_BYTES: u64 = 1 << 20;
 
 /// Named interconnect shapes the simulator knows how to build.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -42,14 +61,20 @@ pub enum TopologyKind {
     #[default]
     HostOnly,
     /// Each device has a direct link to its two ring neighbours
-    /// (`d ± 1 mod D`); other pairs stage through the host.
+    /// (`d ± 1 mod D`); other pairs forward along the ring or stage
+    /// through the host, whichever prices cheaper.
     Ring,
     /// A direct link between every device pair (NVSwitch-class).
     AllToAll,
+    /// An explicitly-specified link set ([`Interconnect::mesh`], or
+    /// `link_overrides` on any base shape): the uniform builder adds no
+    /// links of its own, the caller supplies every peer link.
+    Mesh,
 }
 
 impl TopologyKind {
-    /// All shapes, in sweep order.
+    /// The uniformly-buildable shapes, in sweep order ([`TopologyKind::
+    /// Mesh`] is excluded: it has no uniform link set to sweep).
     pub const ALL: [TopologyKind; 3] =
         [TopologyKind::HostOnly, TopologyKind::Ring, TopologyKind::AllToAll];
 
@@ -59,6 +84,7 @@ impl TopologyKind {
             TopologyKind::HostOnly => "host-only",
             TopologyKind::Ring => "ring",
             TopologyKind::AllToAll => "all-to-all",
+            TopologyKind::Mesh => "mesh",
         }
     }
 
@@ -68,32 +94,72 @@ impl TopologyKind {
             "host" | "host-only" | "hostonly" | "pcie" => Some(TopologyKind::HostOnly),
             "ring" => Some(TopologyKind::Ring),
             "all-to-all" | "alltoall" | "a2a" | "nvswitch" => Some(TopologyKind::AllToAll),
+            "mesh" => Some(TopologyKind::Mesh),
             _ => None,
         }
     }
 }
 
-/// Bandwidth/latency of an NVLink-class point-to-point link.
+/// Queue discipline of a peer link's two directions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Duplex {
+    /// Both directions share one contention queue (the PR 3 model;
+    /// conservative, and the simpler invariant to test).
+    Half,
+    /// Each direction owns its own queue at the spec's bandwidth — the
+    /// real NVLink discipline, which lets the two legs of a symmetric
+    /// exchange overlap. The default.
+    #[default]
+    Full,
+}
+
+/// Bandwidth/latency/duplex of an NVLink-class point-to-point link. The
+/// bandwidth is *per direction*; [`Duplex`] decides whether the two
+/// directions contend for one queue or run independently.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkSpec {
-    /// Effective (practical) bandwidth, bytes/second.
+    /// Effective (practical) bandwidth per direction, bytes/second.
     pub bandwidth: f64,
     /// Fixed per-transfer software/launch latency, seconds.
     pub latency: SimTime,
+    /// One shared queue (PR 3) or one queue per direction (NVLink).
+    pub duplex: Duplex,
 }
 
 impl LinkSpec {
     /// NVLink 2.0-class bridge: ~50 GB/s nominal per direction, derated
     /// to practical throughput like the PCIe model; P2P copies skip the
     /// host staging so their launch latency is about half a `cudaMemcpy`.
+    /// Full-duplex, as the hardware is.
     pub fn nvlink() -> Self {
         Self::with_nominal_bw(50.0e9)
     }
 
-    /// A peer link with the given *nominal* bandwidth (bytes/s), derated
-    /// by the same practical fraction as the PCIe model.
+    /// A full-duplex peer link with the given *nominal* per-direction
+    /// bandwidth (bytes/s), derated by the same practical fraction as the
+    /// PCIe model.
     pub fn with_nominal_bw(nominal: f64) -> Self {
-        LinkSpec { bandwidth: nominal * crate::pcie::PRACTICAL_FRACTION, latency: 5.0e-6 }
+        LinkSpec {
+            bandwidth: nominal * crate::pcie::PRACTICAL_FRACTION,
+            latency: 5.0e-6,
+            duplex: Duplex::Full,
+        }
+    }
+
+    /// The same link with both directions sharing one queue — the PR 3
+    /// queueing discipline. (Host-only and uniform half-duplex cliques
+    /// then price bit-identically to PR 3; rings still differ, because
+    /// routing now forwards their distance ≥ 2 pairs device-via-device
+    /// instead of always host-staging them.)
+    pub fn half_duplex(mut self) -> Self {
+        self.duplex = Duplex::Half;
+        self
+    }
+
+    /// The same link with one queue per direction (the default).
+    pub fn full_duplex(mut self) -> Self {
+        self.duplex = Duplex::Full;
+        self
     }
 
     /// Scale fixed latency to 2^-shift datasets, mirroring
@@ -103,7 +169,8 @@ impl LinkSpec {
         self
     }
 
-    /// Wall time of one transfer of `bytes` over this link.
+    /// Wall time of one transfer of `bytes` over one direction of this
+    /// link.
     pub fn transfer_time(&self, bytes: u64) -> SimTime {
         if bytes == 0 {
             return 0.0;
@@ -154,60 +221,270 @@ pub struct Link {
     pub rate: LinkRate,
 }
 
-/// The priced path of one device-to-device transfer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+impl Link {
+    /// Queues this link exposes: one for the host root complex and
+    /// half-duplex peers, two (one per direction) for full-duplex peers.
+    fn queue_count(&self) -> usize {
+        match self.rate {
+            LinkRate::Smooth(s) if s.duplex == Duplex::Full => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// The priced path of one device-to-device transfer, chosen at build
+/// time as the cheapest of direct / multi-hop-forwarded / host-staged
+/// for a [`ROUTE_PROBE_BYTES`] probe.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Route {
     /// A direct peer link (link-table index).
     Direct(usize),
-    /// No peer link: store-and-forward through host memory, one upload
-    /// and one download on the host root complex.
+    /// Store-and-forward through intermediate devices: ≥ 2 peer-link ids
+    /// in hop order. Every hop pays its own transfer time and occupies
+    /// its own direction queue.
+    Forwarded(Vec<usize>),
+    /// Store-and-forward through host memory, one upload and one
+    /// download on the host root complex — chosen when no peer path
+    /// exists or every peer path prices slower (e.g. across a slow
+    /// mixed-generation bridge).
     HostStaged,
 }
 
-/// A set of links connecting `D` devices and the host.
+/// A set of links connecting `D` devices and the host, plus the dense
+/// tables derived from them at build time: direct-peer adjacency, the
+/// per-pair cheapest route, and the queue layout. All lookups that PR 3
+/// answered with a linear scan of the link table are O(1) here.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Interconnect {
     kind: TopologyKind,
     num_devices: usize,
     links: Vec<Link>,
+    /// Dense `nd × nd` direct-peer-link table (`None` off the diagonal of
+    /// the topology; the diagonal is always `None`).
+    peer_adj: Vec<Option<usize>>,
+    /// Dense `nd × nd` cheapest-route table (the diagonal holds
+    /// `HostStaged` but is never consulted: a device does not route to
+    /// itself).
+    routes: Vec<Route>,
+    /// Per link: `[forward, reverse]` queue ids. Both entries coincide
+    /// for single-queue links (host, half-duplex peers).
+    queue_of: Vec<[usize; 2]>,
+    num_queues: usize,
 }
 
 impl Interconnect {
     /// Build the `kind` topology over `num_devices` devices (minimum 1):
     /// link 0 is always the host root complex priced by `host`; peer
-    /// links (if any) are priced by `peer`.
+    /// links (if any) all carry the uniform `peer` spec. For mixed
+    /// generations use [`Interconnect::ring_with_specs`],
+    /// [`Interconnect::mesh`], or [`Interconnect::with_link_spec`].
     pub fn build(kind: TopologyKind, num_devices: usize, host: PcieModel, peer: LinkSpec) -> Self {
         let nd = num_devices.max(1);
+        let pairs: Vec<(u32, u32, LinkSpec)> = match kind {
+            // A mesh has no uniform link set: links come from the
+            // caller (`Interconnect::mesh`, `with_link_spec`,
+            // `link_overrides`).
+            TopologyKind::HostOnly | TopologyKind::Mesh => Vec::new(),
+            TopologyKind::Ring => ring_pairs(nd).into_iter().map(|(a, b)| (a, b, peer)).collect(),
+            TopologyKind::AllToAll => {
+                let mut v = Vec::new();
+                for a in 0..nd as u32 {
+                    for b in a + 1..nd as u32 {
+                        v.push((a, b, peer));
+                    }
+                }
+                v
+            }
+        };
+        Self::from_links(kind, nd, host, &pairs)
+    }
+
+    /// A ring whose `i`-th neighbour link (`i → (i+1) mod D`) carries
+    /// `specs[i]` — the mixed-generation ring builder. `specs.len()` must
+    /// equal the ring's link count (`D` for `D > 2`, 1 for `D = 2`, 0
+    /// below).
+    pub fn ring_with_specs(num_devices: usize, host: PcieModel, specs: &[LinkSpec]) -> Self {
+        let nd = num_devices.max(1);
+        let pairs = ring_pairs(nd);
+        assert_eq!(
+            specs.len(),
+            pairs.len(),
+            "a {nd}-device ring has {} links, got {} specs",
+            pairs.len(),
+            specs.len()
+        );
+        let links: Vec<(u32, u32, LinkSpec)> =
+            pairs.iter().zip(specs).map(|(&(a, b), &s)| (a, b, s)).collect();
+        Self::from_links(TopologyKind::Ring, nd, host, &links)
+    }
+
+    /// An arbitrary heterogeneous mesh: one peer link per `(a, b, spec)`
+    /// entry (order-insensitive endpoints, no self-loops, no duplicate
+    /// pairs). Pairs without a link route multi-hop or via the host,
+    /// whichever is cheaper.
+    pub fn mesh(num_devices: usize, host: PcieModel, links: &[(u32, u32, LinkSpec)]) -> Self {
+        Self::from_links(TopologyKind::Mesh, num_devices.max(1), host, links)
+    }
+
+    fn from_links(
+        kind: TopologyKind,
+        nd: usize,
+        host: PcieModel,
+        pairs: &[(u32, u32, LinkSpec)],
+    ) -> Self {
         let mut links =
             vec![Link { class: LinkClass::Host, endpoints: None, rate: LinkRate::Pcie(host) }];
-        let mut pair = |a: u32, b: u32| {
+        let mut seen = vec![false; nd * nd];
+        for &(a, b, spec) in pairs {
+            assert!(a != b, "peer link ({a}, {b}) is a self-loop");
+            assert!(
+                (a as usize) < nd && (b as usize) < nd,
+                "peer link ({a}, {b}) exceeds {nd} devices"
+            );
+            let (lo, hi) = (a.min(b) as usize, a.max(b) as usize);
+            assert!(!seen[lo * nd + hi], "duplicate peer link ({a}, {b})");
+            seen[lo * nd + hi] = true;
             links.push(Link {
                 class: LinkClass::Peer,
                 endpoints: Some((a, b)),
-                rate: LinkRate::Smooth(peer),
+                rate: LinkRate::Smooth(spec),
             });
+        }
+        let mut ic = Interconnect {
+            kind,
+            num_devices: nd,
+            links,
+            peer_adj: Vec::new(),
+            routes: Vec::new(),
+            queue_of: Vec::new(),
+            num_queues: 0,
         };
-        match kind {
-            TopologyKind::HostOnly => {}
-            TopologyKind::Ring => {
-                // nd = 2 has a single neighbour link; nd <= 1 has none.
-                if nd == 2 {
-                    pair(0, 1);
-                } else if nd > 2 {
-                    for d in 0..nd as u32 {
-                        pair(d, (d + 1) % nd as u32);
-                    }
-                }
+        ic.finalize();
+        ic
+    }
+
+    /// The same interconnect with the `(a, b)` peer link re-priced to
+    /// `spec` — or, when the pair has no link yet, with a new one added
+    /// (so a named shape can be edited into an arbitrary mesh). Route and
+    /// queue tables are rebuilt.
+    pub fn with_link_spec(mut self, a: u32, b: u32, spec: LinkSpec) -> Self {
+        let nd = self.num_devices;
+        assert!(a != b, "peer link ({a}, {b}) is a self-loop");
+        assert!(
+            (a as usize) < nd && (b as usize) < nd,
+            "peer link ({a}, {b}) exceeds {nd} devices"
+        );
+        match self.peer_adj[a as usize * nd + b as usize] {
+            Some(l) => self.links[l].rate = LinkRate::Smooth(spec),
+            None => self.links.push(Link {
+                class: LinkClass::Peer,
+                endpoints: Some((a, b)),
+                rate: LinkRate::Smooth(spec),
+            }),
+        }
+        self.finalize();
+        self
+    }
+
+    /// Recompute the dense tables (adjacency, queue layout, cheapest
+    /// routes) from the link table.
+    fn finalize(&mut self) {
+        let nd = self.num_devices;
+        self.peer_adj = vec![None; nd * nd];
+        for (l, link) in self.links.iter().enumerate() {
+            if let Some((a, b)) = link.endpoints {
+                self.peer_adj[a as usize * nd + b as usize] = Some(l);
+                self.peer_adj[b as usize * nd + a as usize] = Some(l);
             }
-            TopologyKind::AllToAll => {
-                for a in 0..nd as u32 {
-                    for b in a + 1..nd as u32 {
-                        pair(a, b);
-                    }
+        }
+        self.queue_of = Vec::with_capacity(self.links.len());
+        let mut q = 0usize;
+        for link in &self.links {
+            match link.queue_count() {
+                2 => {
+                    self.queue_of.push([q, q + 1]);
+                    q += 2;
+                }
+                _ => {
+                    self.queue_of.push([q, q]);
+                    q += 1;
                 }
             }
         }
-        Interconnect { kind, num_devices: nd, links }
+        self.num_queues = q;
+        self.routes = self.compute_routes();
+    }
+
+    /// Cheapest route per ordered pair: per-source Dijkstra over the peer
+    /// fabric (hop cost = the link's probe transfer time), compared
+    /// against host staging (probe upload + probe download on the root
+    /// complex). Deterministic: nodes settle in ascending (cost, id)
+    /// order and paths improve only on strictly smaller cost.
+    ///
+    /// The comparison is per-pair and static — a known relaxation:
+    /// [`Interconnect::price_all_gather`] amortises a staged source's
+    /// upload across all of its staged destinations and aggregates
+    /// downloads, so once one pair of a source already stages, the
+    /// *marginal* host cost of staging another is below the 2-copy
+    /// probe cost used here. A marginal-cost table would depend on
+    /// which other pairs stage (and thus on the routing itself); the
+    /// static per-pair choice keeps routes load-independent and O(1).
+    fn compute_routes(&self) -> Vec<Route> {
+        let nd = self.num_devices;
+        let host_cost = 2.0 * self.links[HOST_LINK].rate.transfer_time(ROUTE_PROBE_BYTES);
+        let hop_cost: Vec<SimTime> =
+            self.links.iter().map(|l| l.rate.transfer_time(ROUTE_PROBE_BYTES)).collect();
+        let mut routes = vec![Route::HostStaged; nd * nd];
+        for src in 0..nd {
+            // Dijkstra with linear extraction: D is small (device counts),
+            // so the O(D²) scan beats a heap and stays allocation-light.
+            let mut dist = vec![f64::INFINITY; nd];
+            let mut via: Vec<Option<usize>> = vec![None; nd]; // arriving link
+            let mut prev = vec![usize::MAX; nd];
+            let mut done = vec![false; nd];
+            dist[src] = 0.0;
+            loop {
+                let mut u = usize::MAX;
+                for d in 0..nd {
+                    if !done[d] && dist[d].is_finite() && (u == usize::MAX || dist[d] < dist[u]) {
+                        u = d;
+                    }
+                }
+                if u == usize::MAX {
+                    break;
+                }
+                done[u] = true;
+                for v in 0..nd {
+                    if let Some(l) = self.peer_adj[u * nd + v] {
+                        let c = dist[u] + hop_cost[l];
+                        if c < dist[v] {
+                            dist[v] = c;
+                            via[v] = Some(l);
+                            prev[v] = u;
+                        }
+                    }
+                }
+            }
+            for dst in 0..nd {
+                // Host staging wins strictly costlier peer paths (and
+                // unreachable ones, whose distance is infinite).
+                if dst == src || dist[dst] > host_cost {
+                    continue;
+                }
+                let mut hops = Vec::new();
+                let mut cur = dst;
+                while cur != src {
+                    hops.push(via[cur].expect("finite distance implies an arriving link"));
+                    cur = prev[cur];
+                }
+                hops.reverse();
+                routes[src * nd + dst] = match hops.len() {
+                    1 => Route::Direct(hops[0]),
+                    _ => Route::Forwarded(hops),
+                };
+            }
+        }
+        routes
     }
 
     /// The legacy shared-bus interconnect (no peer links).
@@ -230,6 +507,19 @@ impl Interconnect {
         self.links.len()
     }
 
+    /// Total contention queues: one for the host root complex and each
+    /// half-duplex peer link, two for each full-duplex peer link.
+    pub fn num_queues(&self) -> usize {
+        self.num_queues
+    }
+
+    /// The queue serving `link` in direction `reverse` (`false` =
+    /// `endpoints.0 → endpoints.1`). Single-queue links return the same
+    /// id for both directions.
+    pub fn queue(&self, link: usize, reverse: bool) -> usize {
+        self.queue_of[link][reverse as usize]
+    }
+
     /// The link table (index = link id; `HOST_LINK` first).
     pub fn links(&self) -> &[Link] {
         &self.links
@@ -248,17 +538,27 @@ impl Interconnect {
     }
 
     /// Direct peer link between `a` and `b`, if the topology has one.
+    /// O(1): indexes the dense adjacency table built at construction.
     pub fn peer_link(&self, a: u32, b: u32) -> Option<usize> {
-        self.links.iter().position(
-            |l| matches!(l.endpoints, Some((x, y)) if (x, y) == (a, b) || (x, y) == (b, a)),
-        )
+        self.peer_adj[a as usize * self.num_devices + b as usize]
     }
 
-    /// Route one `src -> dst` device transfer.
-    pub fn route(&self, src: u32, dst: u32) -> Route {
-        match self.peer_link(src, dst) {
-            Some(l) => Route::Direct(l),
-            None => Route::HostStaged,
+    /// Cheapest route for one `src → dst` device transfer (O(1) table
+    /// lookup; `src == dst` is never routed).
+    pub fn route(&self, src: u32, dst: u32) -> &Route {
+        &self.routes[src as usize * self.num_devices + dst as usize]
+    }
+
+    /// Price `route(src, dst)` for a transfer of `bytes`: the direct
+    /// link's transfer time, the sum of every forwarded hop
+    /// (store-and-forward), or upload + download on the host root
+    /// complex. Contention-free — queueing happens in
+    /// [`Interconnect::price_all_gather`].
+    pub fn route_cost(&self, src: u32, dst: u32, bytes: u64) -> SimTime {
+        match self.route(src, dst) {
+            Route::Direct(l) => self.transfer_time(*l, bytes),
+            Route::Forwarded(hops) => hops.iter().map(|&l| self.transfer_time(l, bytes)).sum(),
+            Route::HostStaged => 2.0 * self.transfer_time(HOST_LINK, bytes),
         }
     }
 
@@ -267,16 +567,44 @@ impl Interconnect {
         self.links[link].rate.transfer_time(bytes)
     }
 
+    /// The endpoint of peer link `link` that is not `device`.
+    fn other_end(&self, link: usize, device: u32) -> u32 {
+        let (a, b) = self.links[link].endpoints.expect("peer link has endpoints");
+        if device == a {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Occupy `link` in the direction leaving `from` with one transfer of
+    /// `bytes`; returns the device at the other end.
+    fn occupy(&self, report: &mut ExchangeReport, from: u32, link: usize, bytes: u64) -> u32 {
+        let t = self.transfer_time(link, bytes);
+        let (a, _) = self.links[link].endpoints.expect("peer link has endpoints");
+        report.per_queue_busy[self.queue(link, from != a)] += t;
+        report.per_link_busy[link] += t;
+        self.other_end(link, from)
+    }
+
     /// Price the end-of-iteration frontier all-gather: participating
     /// device `d` publishes `owned[d]` bytes and must receive every other
     /// participant's batch.
     ///
-    /// Pairs with a direct peer link send their batch on it; all pairs
-    /// without one share the host staging path — one upload per source
-    /// (the host copy is reused for every host-routed destination) and
-    /// one aggregated download per destination, exactly the legacy
-    /// shared-bus exchange. Legs queue per link and overlap across links,
-    /// so the makespan is the busiest link, not the serial sum.
+    /// Each pair's batch follows its cheapest route: a direct peer link,
+    /// a forwarded multi-hop peer path (the batch pays — and occupies —
+    /// every hop), or the shared host staging path — one upload per
+    /// source (the host copy is reused for every host-routed destination)
+    /// and one aggregated download per destination, exactly the legacy
+    /// shared-bus exchange. Legs queue per *direction* queue (full-duplex
+    /// links run their two directions concurrently) and overlap across
+    /// queues, so the makespan is the busiest queue — floored by the
+    /// longest single-batch store-and-forward chain ([`ExchangeReport::
+    /// critical_path`]): a forwarded batch's hops serialise even when
+    /// their queues are otherwise idle, so the exchange can never finish
+    /// before its slowest routed batch has crossed every hop. (Still a
+    /// relaxation: hop/queue interleavings beyond those two bounds are
+    /// not played out.)
     ///
     /// Host legs are queued in ascending device order, upload before
     /// download — the legacy pricing order — which keeps the host-only
@@ -285,8 +613,11 @@ impl Interconnect {
         assert_eq!(owned.len(), self.num_devices, "one publication size per device");
         assert_eq!(participates.len(), self.num_devices);
         let nd = self.num_devices;
-        let mut report =
-            ExchangeReport { per_link_busy: vec![0.0; self.links.len()], ..Default::default() };
+        let mut report = ExchangeReport {
+            per_link_busy: vec![0.0; self.links.len()],
+            per_queue_busy: vec![0.0; self.num_queues],
+            ..Default::default()
+        };
         let holders = participates.iter().filter(|&&p| p).count();
         if holders <= 1 {
             return report; // nobody to talk to
@@ -299,32 +630,56 @@ impl Interconnect {
         // participant's records, however routed. Topology-invariant.
         report.payload_bytes = total * (holders as u64 - 1);
 
-        // Direct legs ride the pair's peer link; the rest fall back to
-        // host staging (shared upload per source, aggregated download per
-        // destination).
+        // Peer-routed legs (direct or forwarded) occupy their direction
+        // queues; the rest fall back to host staging (shared upload per
+        // source, aggregated download per destination).
         let mut host_up = vec![0u64; nd];
         let mut host_down = vec![0u64; nd];
         for s in (0..nd as u32).filter(|&s| participates[s as usize]) {
+            let b = owned[s as usize];
+            let mut staged = false;
             for d in (0..nd as u32).filter(|&d| d != s && participates[d as usize]) {
                 match self.route(s, d) {
                     Route::Direct(link) => {
-                        let b = owned[s as usize];
                         if b > 0 {
-                            report.per_link_busy[link] += self.transfer_time(link, b);
+                            self.occupy(&mut report, s, *link, b);
                             report.peer_bytes += b;
                         }
                     }
+                    Route::Forwarded(hops) => {
+                        if b > 0 {
+                            let mut cur = s;
+                            let mut path_time = 0.0;
+                            for &link in hops {
+                                path_time += self.transfer_time(link, b);
+                                cur = self.occupy(&mut report, cur, link, b);
+                                report.peer_bytes += b;
+                            }
+                            debug_assert_eq!(cur, d, "forwarded path must end at the destination");
+                            report.forwarded_bytes += b * (hops.len() as u64 - 1);
+                            // The batch's hops depend on each other; a
+                            // direct or host-staged leg never exceeds
+                            // its own queue's busy time, so only
+                            // forwarded chains can raise the floor.
+                            report.critical_path = report.critical_path.max(path_time);
+                        }
+                    }
                     Route::HostStaged => {
-                        host_up[s as usize] = owned[s as usize];
-                        host_down[d as usize] += owned[s as usize];
+                        staged = true;
+                        host_down[d as usize] += b;
                     }
                 }
+            }
+            if staged {
+                host_up[s as usize] = b;
             }
         }
         for d in (0..nd).filter(|&d| participates[d]) {
             for b in [host_up[d], host_down[d]] {
                 if b > 0 {
-                    report.per_link_busy[HOST_LINK] += self.transfer_time(HOST_LINK, b);
+                    let t = self.transfer_time(HOST_LINK, b);
+                    report.per_queue_busy[self.queue(HOST_LINK, false)] += t;
+                    report.per_link_busy[HOST_LINK] += t;
                     report.host_bytes += b;
                 }
             }
@@ -332,31 +687,59 @@ impl Interconnect {
 
         report.host_time = report.per_link_busy[HOST_LINK];
         report.peer_time = report.per_link_busy[HOST_LINK + 1..].iter().sum();
-        report.makespan = report.per_link_busy.iter().fold(0.0, |a, &b| a.max(b));
+        report.makespan = report.per_queue_busy.iter().fold(report.critical_path, |a, &b| a.max(b));
         report
     }
 }
 
-/// Routed, per-link-contended pricing of one frontier all-gather.
+/// Ring neighbour pairs for `nd` devices: `nd = 2` has a single link,
+/// `nd ≤ 1` none.
+fn ring_pairs(nd: usize) -> Vec<(u32, u32)> {
+    match nd {
+        0 | 1 => Vec::new(),
+        2 => vec![(0, 1)],
+        _ => (0..nd as u32).map(|d| (d, (d + 1) % nd as u32)).collect(),
+    }
+}
+
+/// Routed, per-queue-contended pricing of one frontier all-gather.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExchangeReport {
-    /// Wall time until the last link drains (legs on disjoint links
-    /// overlap; legs sharing a link serialise).
+    /// Wall time until the last queue drains (legs on disjoint queues
+    /// overlap; legs sharing a queue serialise), floored by
+    /// [`ExchangeReport::critical_path`].
     pub makespan: SimTime,
+    /// Longest single-batch store-and-forward chain: the hops of a
+    /// forwarded batch serialise among themselves even when their
+    /// queues are otherwise idle, so the makespan can never undercut
+    /// this. Zero when no route forwards.
+    pub critical_path: SimTime,
     /// Host root-complex busy time.
     pub host_time: SimTime,
-    /// Total peer-link busy time (all peer links).
+    /// Total peer-link busy time (all peer links, both directions).
     pub peer_time: SimTime,
     /// Bytes that crossed the host root complex (staged uploads +
     /// downloads; a staged record is counted on both hops).
     pub host_bytes: u64,
-    /// Bytes that crossed peer links.
+    /// Bytes that crossed peer links (a forwarded record is counted on
+    /// every hop, mirroring the host staging convention).
     pub peer_bytes: u64,
+    /// Bytes relayed through intermediate devices: for a batch forwarded
+    /// over `k` hops, the `(k − 1) ·` batch bytes that intermediate
+    /// devices carried on behalf of the pair. Zero when every route is
+    /// direct or host-staged.
+    pub forwarded_bytes: u64,
     /// Logical payload delivered (`Σ owned · (participants − 1)`) —
     /// identical for every topology, unlike the per-link byte counts.
     pub payload_bytes: u64,
-    /// Busy time per link (index = link id; `HOST_LINK` first).
+    /// Busy time per link (index = link id; `HOST_LINK` first). For a
+    /// full-duplex link this is the *sum* of its two direction queues
+    /// (total wire occupancy).
     pub per_link_busy: Vec<SimTime>,
+    /// Busy time per contention queue (host root complex first, then
+    /// each link's queues in link order). The makespan is the maximum
+    /// entry.
+    pub per_queue_busy: Vec<SimTime>,
 }
 
 #[cfg(test)]
@@ -398,9 +781,10 @@ mod tests {
         for k in TopologyKind::ALL {
             assert_eq!(TopologyKind::parse(k.name()), Some(k));
         }
+        assert_eq!(TopologyKind::parse(TopologyKind::Mesh.name()), Some(TopologyKind::Mesh));
         assert_eq!(TopologyKind::parse("a2a"), Some(TopologyKind::AllToAll));
         assert_eq!(TopologyKind::parse("HOST"), Some(TopologyKind::HostOnly));
-        assert_eq!(TopologyKind::parse("mesh"), None);
+        assert_eq!(TopologyKind::parse("torus"), None);
     }
 
     #[test]
@@ -415,14 +799,36 @@ mod tests {
     }
 
     #[test]
-    fn ring_routes_neighbours_direct_and_opposites_via_host() {
+    fn queue_counts_follow_duplex() {
+        let p = pcie();
+        // Full-duplex (default): host queue + 2 per peer link.
+        let full = Interconnect::build(TopologyKind::Ring, 4, p, LinkSpec::nvlink());
+        assert_eq!(full.num_queues(), 1 + 2 * 4);
+        // Half-duplex: one queue per link, the PR 3 layout.
+        let half = Interconnect::build(TopologyKind::Ring, 4, p, LinkSpec::nvlink().half_duplex());
+        assert_eq!(half.num_queues(), 1 + 4);
+        assert_eq!(half.queue(1, false), half.queue(1, true));
+        assert_ne!(full.queue(1, false), full.queue(1, true));
+        // The host root complex is always one queue.
+        assert_eq!(full.queue(HOST_LINK, false), full.queue(HOST_LINK, true));
+        assert_eq!(Interconnect::host_only(4, p).num_queues(), 1);
+    }
+
+    #[test]
+    fn ring_routes_neighbours_direct_and_opposites_forwarded() {
         let ic = Interconnect::build(TopologyKind::Ring, 4, pcie(), LinkSpec::nvlink());
         assert!(matches!(ic.route(0, 1), Route::Direct(_)));
         assert!(matches!(ic.route(3, 0), Route::Direct(_)));
-        assert_eq!(ic.route(0, 2), Route::HostStaged);
-        assert_eq!(ic.route(1, 3), Route::HostStaged);
-        // Peer lookup is direction-agnostic.
+        // Opposite pairs forward two fast hops rather than paying two
+        // TLP-quantised host copies.
+        match ic.route(0, 2) {
+            Route::Forwarded(hops) => assert_eq!(hops.len(), 2),
+            r => panic!("expected a 2-hop forward, got {r:?}"),
+        }
+        assert!(matches!(ic.route(1, 3), Route::Forwarded(_)));
+        // Peer lookup is direction-agnostic and O(1).
         assert_eq!(ic.peer_link(1, 0), ic.peer_link(0, 1));
+        assert_eq!(ic.peer_link(0, 2), None);
     }
 
     #[test]
@@ -438,6 +844,48 @@ mod tests {
     }
 
     #[test]
+    fn host_only_routes_everything_host_staged() {
+        let ic = Interconnect::host_only(3, pcie());
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    assert_eq!(ic.route(a, b), &Route::HostStaged);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slow_bridge_shifts_its_pair_back_to_host_staging() {
+        // D = 8 uniform ring: every pair rides the peer fabric (max 4
+        // hops beat two TLP-quantised host copies).
+        let uniform = Interconnect::build(TopologyKind::Ring, 8, pcie(), LinkSpec::nvlink());
+        for d in 1..8u32 {
+            assert_ne!(uniform.route(0, d), &Route::HostStaged, "0->{d}");
+        }
+        // Derate the (0, 1) bridge to 2 GB/s: the direct hop is slower
+        // than host staging and so is the 7-hop detour, so exactly that
+        // pair falls back to the host; its neighbours re-route around.
+        let slow = uniform.clone().with_link_spec(0, 1, LinkSpec::with_nominal_bw(2.0e9));
+        assert_eq!(slow.route(0, 1), &Route::HostStaged);
+        assert_eq!(slow.route(1, 0), &Route::HostStaged);
+        // A pair whose short path crosses the slow bridge detours the
+        // long way around instead (0 → 7 → … → 3 is five fast hops,
+        // cheaper than both the bridge and the host).
+        match slow.route(0, 3) {
+            Route::Forwarded(hops) => {
+                assert_eq!(hops.len(), 5, "must detour away from the slow bridge")
+            }
+            r => panic!("expected a detour, got {r:?}"),
+        }
+        // Route costs still respect the choice: host staging is cheapest
+        // for the slow pair at the probe size.
+        let probe = ROUTE_PROBE_BYTES;
+        let direct_slow = slow.transfer_time(slow.peer_link(0, 1).unwrap(), probe);
+        assert!(slow.route_cost(0, 1, probe) < direct_slow);
+    }
+
+    #[test]
     fn host_only_all_gather_is_bit_identical_to_legacy_serial_bus() {
         let p = pcie();
         let ic = Interconnect::host_only(4, p);
@@ -449,9 +897,34 @@ mod tests {
         assert_eq!(r.host_time, legacy_time);
         assert_eq!(r.host_bytes, legacy_bytes);
         assert_eq!(r.peer_bytes, 0);
+        assert_eq!(r.forwarded_bytes, 0);
         assert_eq!(r.peer_time, 0.0);
         // Payload counts each record once per receiving peer.
         assert_eq!(r.payload_bytes, (1200 + 96) * 2);
+    }
+
+    #[test]
+    fn uniform_half_duplex_clique_is_bit_identical_to_pr3_per_link_queues() {
+        // The PR 3 pricing for an all-to-all clique, verbatim: every
+        // ordered pair's batch rides its direct link's single queue.
+        let p = pcie();
+        let spec = LinkSpec::nvlink().half_duplex();
+        let ic = Interconnect::build(TopologyKind::AllToAll, 4, p, spec);
+        let owned = [400u64, 900, 16, 120];
+        let participates = [true; 4];
+        let r = ic.price_all_gather(&owned, &participates);
+        let mut link_busy = vec![0.0f64; ic.num_links()];
+        for s in 0..4u32 {
+            for d in (0..4u32).filter(|&d| d != s) {
+                let l = ic.peer_link(s, d).unwrap();
+                link_busy[l] += spec.transfer_time(owned[s as usize]);
+            }
+        }
+        let makespan = link_busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert_eq!(r.makespan, makespan);
+        assert_eq!(r.per_link_busy, link_busy);
+        assert_eq!(r.host_bytes, 0);
+        assert_eq!(r.forwarded_bytes, 0);
     }
 
     #[test]
@@ -490,6 +963,104 @@ mod tests {
         assert!(ring.host_bytes < host.host_bytes);
         assert_eq!(a2a.host_bytes, 0, "a clique never stages through the host");
         assert!(a2a.peer_bytes > 0 && ring.peer_bytes > 0);
+        // Opposite ring pairs forward through a neighbour now.
+        assert!(ring.forwarded_bytes > 0);
+        assert_eq!(a2a.forwarded_bytes, 0, "a clique never forwards");
+    }
+
+    #[test]
+    fn full_duplex_overlaps_the_symmetric_legs() {
+        // Two devices, one link, symmetric batches: half-duplex
+        // serialises the two directions, full-duplex overlaps them
+        // exactly — each direction queue carries one leg.
+        let p = pcie();
+        let owned = [64_000u64, 64_000];
+        let participates = [true; 2];
+        let leg = LinkSpec::nvlink().transfer_time(64_000);
+        let half = Interconnect::build(TopologyKind::Ring, 2, p, LinkSpec::nvlink().half_duplex())
+            .price_all_gather(&owned, &participates);
+        let full = Interconnect::build(TopologyKind::Ring, 2, p, LinkSpec::nvlink())
+            .price_all_gather(&owned, &participates);
+        assert!((half.makespan - 2.0 * leg).abs() < EPS);
+        assert!((full.makespan - leg).abs() < EPS, "symmetric legs must overlap");
+        // Wire occupancy and byte counts are duplex-invariant.
+        assert_eq!(full.per_link_busy, half.per_link_busy);
+        assert_eq!(full.peer_bytes, half.peer_bytes);
+        assert_eq!(full.payload_bytes, half.payload_bytes);
+    }
+
+    #[test]
+    fn sparse_forwarded_exchange_cannot_undercut_its_hop_chain() {
+        // One publisher, one opposite-side receiver on a 4-ring: the
+        // batch crosses two hops that depend on each other, so even
+        // though each hop sits on its own otherwise-idle queue (no
+        // other leg shares them), the exchange takes two hop times, not
+        // one.
+        let ic = Interconnect::build(TopologyKind::Ring, 4, pcie(), LinkSpec::nvlink());
+        let b = 200_000u64;
+        let r = ic.price_all_gather(&[b, 0, 0, 0], &[true, false, true, false]);
+        let hop = LinkSpec::nvlink().transfer_time(b);
+        assert!((r.critical_path - 2.0 * hop).abs() < EPS);
+        assert!((r.makespan - 2.0 * hop).abs() < EPS, "hop precedence must floor the makespan");
+        let busiest = r.per_queue_busy.iter().fold(0.0f64, |a, &x| a.max(x));
+        assert!((busiest - hop).abs() < EPS, "each queue carries one hop");
+    }
+
+    #[test]
+    fn forwarded_legs_price_as_the_sum_of_their_hops() {
+        let ic = Interconnect::build(TopologyKind::Ring, 4, pcie(), LinkSpec::nvlink());
+        let b = 100_000u64;
+        let hop = LinkSpec::nvlink().transfer_time(b);
+        // Distance-2 pair: cost is exactly two hops, never less (the
+        // triangle inequality over its legs).
+        assert!((ic.route_cost(0, 2, b) - 2.0 * hop).abs() < EPS);
+        assert!(ic.route_cost(0, 2, b) >= ic.route_cost(0, 1, b) - EPS);
+        // And the direct pair prices one hop.
+        assert!((ic.route_cost(0, 1, b) - hop).abs() < EPS);
+    }
+
+    #[test]
+    fn mesh_builder_prices_mixed_generations_per_link() {
+        let p = pcie();
+        let fast = LinkSpec::with_nominal_bw(200.0e9);
+        let slow = LinkSpec::with_nominal_bw(25.0e9);
+        let ic = Interconnect::mesh(3, p, &[(0, 1, fast), (1, 2, slow)]);
+        assert_eq!(ic.kind(), TopologyKind::Mesh, "a sparse mesh is not a clique");
+        assert_eq!(ic.num_links(), 3);
+        // A mesh kind builds bare (host link only) from the uniform
+        // builder; its links come from the caller.
+        assert_eq!(Interconnect::build(TopologyKind::Mesh, 3, p, fast).num_links(), 1);
+        let b = 1 << 20;
+        let l01 = ic.peer_link(0, 1).unwrap();
+        let l12 = ic.peer_link(1, 2).unwrap();
+        assert!(ic.transfer_time(l01, b) < ic.transfer_time(l12, b));
+        // (0, 2) has no link: it forwards over both generations.
+        match ic.route(0, 2) {
+            Route::Forwarded(hops) => assert_eq!(hops, &vec![l01, l12]),
+            r => panic!("expected forwarding, got {r:?}"),
+        }
+        let expect = ic.transfer_time(l01, b) + ic.transfer_time(l12, b);
+        assert!((ic.route_cost(0, 2, b) - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn ring_with_specs_assigns_in_link_order() {
+        let p = pcie();
+        let specs = [
+            LinkSpec::with_nominal_bw(50.0e9),
+            LinkSpec::nvlink(),
+            LinkSpec::with_nominal_bw(100.0e9),
+        ];
+        let ic = Interconnect::ring_with_specs(3, p, &specs);
+        assert_eq!(ic.num_links(), 1 + 3);
+        let l20 = ic.peer_link(2, 0).unwrap();
+        let b = 1 << 20;
+        // Link (2, 0) carries the 100 GB/s spec and is the fastest.
+        for l in 1..ic.num_links() {
+            if l != l20 {
+                assert!(ic.transfer_time(l20, b) < ic.transfer_time(l, b) + EPS);
+            }
+        }
     }
 
     #[test]
@@ -506,13 +1077,26 @@ mod tests {
     }
 
     #[test]
-    fn makespan_is_the_busiest_link() {
+    fn makespan_is_the_busiest_queue_floored_by_the_critical_path() {
         let ic = Interconnect::build(TopologyKind::Ring, 5, pcie(), LinkSpec::nvlink());
         let r = ic.price_all_gather(&[100, 2000, 3, 77, 900], &[true; 5]);
-        let max = r.per_link_busy.iter().fold(0.0f64, |a, &b| a.max(b));
-        assert!((r.makespan - max).abs() < EPS);
-        for &busy in &r.per_link_busy {
+        let max = r.per_queue_busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!((r.makespan - max.max(r.critical_path)).abs() < EPS);
+        for &busy in &r.per_queue_busy {
             assert!(busy <= r.makespan + EPS);
+        }
+        // Per-link busy sums its direction queues and tiles the class
+        // totals.
+        let mut q = 0;
+        for (l, link) in ic.links().iter().enumerate() {
+            let n = if matches!(link.rate, LinkRate::Smooth(s) if s.duplex == Duplex::Full) {
+                2
+            } else {
+                1
+            };
+            let sum: f64 = r.per_queue_busy[q..q + n].iter().sum();
+            assert!((r.per_link_busy[l] - sum).abs() < EPS);
+            q += n;
         }
         let sum: f64 = r.per_link_busy.iter().sum();
         assert!((sum - r.host_time - r.peer_time).abs() < EPS);
@@ -523,6 +1107,7 @@ mod tests {
         let s = LinkSpec::nvlink();
         let sc = s.scaled(10);
         assert_eq!(sc.bandwidth, s.bandwidth);
+        assert_eq!(sc.duplex, s.duplex);
         assert!((sc.latency - s.latency / 1024.0).abs() < 1e-18);
         assert_eq!(s.transfer_time(0), 0.0);
         assert!(s.transfer_time(1 << 20) > s.latency);

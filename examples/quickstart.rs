@@ -65,14 +65,15 @@ fn main() {
         result.counters.total_transfer_bytes() as f64 / 1024.0,
         result.counters.transfer_ratio(system.edge_bytes())
     );
-    let (mut host_us, mut peer_us) = (0.0, 0.0);
+    let (mut host_us, mut peer_us, mut fwd_kb) = (0.0, 0.0, 0.0);
     for it in &result.per_iteration {
         host_us += it.exchange.host_time * 1e6;
         peer_us += it.exchange.peer_time * 1e6;
+        fwd_kb += it.exchange.forwarded_bytes as f64 / 1024.0;
     }
     println!(
         "frontier exchange: {:.1} KB payload | {host_us:.1} us on the host link, \
-         {peer_us:.1} us on peer links",
+         {peer_us:.1} us on peer links ({fwd_kb:.1} KB relayed device-via-device)",
         result.counters.exchange_bytes as f64 / 1024.0,
     );
 

@@ -228,6 +228,50 @@ fn overlap_exchange_hides_time_without_touching_values() {
     assert!(serial.per_iteration.iter().all(|it| it.exchange.hidden == 0.0));
 }
 
+#[test]
+fn heterogeneous_and_duplex_configs_stay_value_transparent() {
+    // ISSUE 4: per-link specs, duplex discipline, and multi-hop
+    // forwarding may only change the timeline — values, iterations, and
+    // the logical exchange payload must match the host-only run exactly.
+    use hytgraph::core::LinkSpec;
+    let g = generators::rmat(11, 10.0, 42, true);
+    let d = 4usize;
+    let (base_v, base_i, base_payload, _) = run_topology(&g, d, TopologyKind::HostOnly);
+    let variants: Vec<(&str, HyTGraphConfig)> = vec![
+        ("half-duplex ring", {
+            let mut cfg = sharded_config(d, DeviceAssignment::EdgeBalanced);
+            cfg.topology = TopologyKind::Ring;
+            cfg.peer_link = cfg.peer_link.half_duplex();
+            cfg
+        }),
+        ("mixed-generation ring", {
+            let mut cfg = sharded_config(d, DeviceAssignment::EdgeBalanced);
+            cfg.topology = TopologyKind::Ring;
+            cfg.link_overrides = vec![
+                (0, 1, LinkSpec::with_nominal_bw(100.0e9).scaled(10)),
+                (2, 3, LinkSpec::with_nominal_bw(25.0e9).scaled(10)),
+            ];
+            cfg
+        }),
+        ("slow-bridge ring", {
+            let mut cfg = sharded_config(d, DeviceAssignment::EdgeBalanced);
+            cfg.topology = TopologyKind::Ring;
+            cfg.link_overrides = vec![(1, 2, LinkSpec::with_nominal_bw(2.0e9).scaled(10))];
+            cfg
+        }),
+    ];
+    for (label, cfg) in variants {
+        let mut sys = HyTGraphSystem::new(g.clone(), cfg);
+        let r = sys.run(Sssp::from_source(0));
+        assert_eq!(r.values, base_v, "{label} changed the computed values");
+        assert_eq!(r.iterations, base_i, "{label} changed the iteration count");
+        assert_eq!(
+            r.counters.exchange_bytes, base_payload,
+            "{label}: exchange payload must be routing-invariant"
+        );
+    }
+}
+
 /// Strategy: seeded weighted RMAT graphs spanning several partitions.
 fn arb_rmat() -> impl Strategy<Value = Csr> {
     (8u32..=10, 4u64..=10, 0u64..1_000)

@@ -139,15 +139,17 @@ proptest! {
         let nd = lists.len();
         let kind = TopologyKind::ALL[kind_idx];
         let ic = Interconnect::build(kind, nd, PcieModel::pcie3(), LinkSpec::nvlink());
-        let num_links = ic.num_links();
+        let num_queues = ic.num_queues();
         let tl = MultiGpuSim::with_interconnect(nd, streams, ic).schedule(&lists);
-        prop_assert_eq!(tl.link_busy.len(), num_links);
-        for (l, &busy) in tl.link_busy.iter().enumerate() {
-            prop_assert!(busy <= tl.makespan + EPS, "link {l} busy {busy} > makespan {}", tl.makespan);
+        // One busy slot per contention queue (full-duplex peer links
+        // expose one per direction).
+        prop_assert_eq!(tl.link_busy.len(), num_queues);
+        for (q, &busy) in tl.link_busy.iter().enumerate() {
+            prop_assert!(busy <= tl.makespan + EPS, "queue {q} busy {busy} > makespan {}", tl.makespan);
             prop_assert!(busy >= 0.0);
         }
-        // Task traffic is host-routed: the host link's busy time is the
-        // bus total and the peer links stay idle.
+        // Task traffic is host-routed: the host queue's busy time is the
+        // bus total and the peer queues stay idle.
         prop_assert!((tl.link_busy[0] - tl.bus_busy).abs() < EPS);
         prop_assert!(tl.link_busy[1..].iter().all(|&b| b == 0.0));
     }
@@ -163,16 +165,21 @@ proptest! {
         let peer = LinkSpec::nvlink();
         let participates = vec![true; nd];
         let r = Interconnect::build(kind, nd, pcie, peer).price_all_gather(&owned, &participates);
-        // Per-link busy never exceeds the makespan, which is exactly the
-        // busiest link (legs on disjoint links overlap fully).
-        let busiest = r.per_link_busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        // Per-queue busy never exceeds the makespan, which is exactly
+        // the busiest direction queue (legs on disjoint queues overlap
+        // fully) floored by the longest forwarded hop chain (a batch's
+        // hops depend on each other even across idle queues).
+        let busiest = r.per_queue_busy.iter().fold(r.critical_path, |a, &b| a.max(b));
         prop_assert!((r.makespan - busiest).abs() < EPS);
-        for &b in &r.per_link_busy {
+        for &b in &r.per_queue_busy {
             prop_assert!(b <= r.makespan + EPS);
         }
-        // Class totals tile the per-link vector.
-        let sum: f64 = r.per_link_busy.iter().sum();
-        prop_assert!((sum - r.host_time - r.peer_time).abs() < EPS);
+        // A link's wire occupancy is the sum of its queues, and class
+        // totals tile the per-link vector.
+        let link_sum: f64 = r.per_link_busy.iter().sum();
+        let queue_sum: f64 = r.per_queue_busy.iter().sum();
+        prop_assert!((link_sum - queue_sum).abs() < EPS);
+        prop_assert!((link_sum - r.host_time - r.peer_time).abs() < EPS);
         // The logical payload is routing-invariant…
         let host = Interconnect::build(TopologyKind::HostOnly, nd, pcie, peer)
             .price_all_gather(&owned, &participates);
@@ -180,9 +187,11 @@ proptest! {
         // …and peer links (at least as fast as the host link here) never
         // make the exchange slower than full host staging.
         prop_assert!(r.makespan <= host.makespan + EPS);
-        // Host-only is the legacy serial bus: makespan == host busy.
+        // Host-only is the legacy serial bus: makespan == host busy, and
+        // nothing rides or relays over peers.
         prop_assert_eq!(host.makespan, host.host_time);
         prop_assert_eq!(host.peer_bytes, 0);
+        prop_assert_eq!(host.forwarded_bytes, 0);
     }
 }
 
