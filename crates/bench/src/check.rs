@@ -372,7 +372,10 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
             cfg.link_overrides = overrides;
             cfg.threads = 1;
             let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg);
-            let staged = matches!(sys.interconnect().route(0, 1), Route::HostStaged);
+            let staged = matches!(
+                sys.interconnect().route(0, 1, hyt_sim::ROUTE_PROBE_BYTES),
+                Route::HostStaged
+            );
             let r = sys.run(hyt_algos::Sssp::from_source(src));
             let mut x = hyt_core::ExchangeStats::default();
             for it in &r.per_iteration {
@@ -399,6 +402,114 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
                 x_slow.host_bytes as f64 / 1024.0,
                 x_slow.forwarded_bytes as f64 / 1024.0,
                 v_uni == v_slow
+            ),
+        ));
+    }
+
+    // ISSUE 5: load-aware routing is never worse than the static table
+    // and strictly better on a skewed D=8 ring — the static sized routes
+    // pile a skewed publisher's batches onto its two egress queues while
+    // the second pass re-routes or splits them off the busiest one; the
+    // pass is pricing-only, so values and iterations stay bit-identical.
+    {
+        let ladder = crate::context::scaled_route_ladder();
+        // Synthetic skewed exchange: one device publishes ~80x the rest,
+        // so its egress queues are the bottleneck and splitting the
+        // opposite-side batch across the two ring directions must win.
+        let ring = hyt_core::Interconnect::build(
+            hyt_core::TopologyKind::Ring,
+            8,
+            base_config().machine.pcie,
+            base_config().peer_link,
+        )
+        .with_route_breakpoints(&ladder);
+        let mut owned = [10_000u64; 8];
+        owned[0] = 800_000;
+        let participates = [true; 8];
+        let stat = ring.price_all_gather(&owned, &participates);
+        let load = ring.price_all_gather_load_aware(&owned, &participates);
+        let skew_strict = load.makespan < stat.makespan && load.payload_bytes == stat.payload_bytes;
+
+        // Full system: the pass may only shrink the priced exchange;
+        // values and convergence are untouched.
+        let g = hyt_graph::generators::power_law_preferential(1 << 14, 12.0, 2.2, 7, true);
+        let src = crate::context::source_vertex(&g);
+        let run = |load_aware: bool| {
+            let mut cfg = SystemKind::HyTGraph.configure(base_config());
+            cfg.num_devices = 8;
+            cfg.topology = hyt_core::TopologyKind::Ring;
+            cfg.route_breakpoints = ladder.clone();
+            cfg.load_aware_exchange = load_aware;
+            cfg.threads = 1;
+            let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg);
+            let r = sys.run(hyt_algos::Sssp::from_source(src));
+            let per: Vec<f64> = r.per_iteration.iter().map(|it| it.exchange.time).collect();
+            let mut x = hyt_core::ExchangeStats::default();
+            for it in &r.per_iteration {
+                x.merge(&it.exchange);
+            }
+            (r.values, r.iterations, per, x)
+        };
+        let (vs, is, per_s, _) = run(false);
+        let (vl, il, per_l, xl) = run(true);
+        let never_worse =
+            per_s.len() == per_l.len() && per_s.iter().zip(&per_l).all(|(&s, &l)| l <= s + 1e-15);
+        let system_strict = per_l.iter().sum::<f64>() < per_s.iter().sum::<f64>();
+        out.push(CheckResult::new(
+            "Load-aware routing: never worse, strictly better on a skewed D=8 ring, values identical",
+            skew_strict && never_worse && system_strict && vs == vl && is == il,
+            format!(
+                "skewed exchange {:.3}us -> {:.3}us (split KB {:.1}, rerouted KB {:.1}); \
+                 SSSP exchange total {:.3}ms -> {:.3}ms over {} iterations, \
+                 per-iteration never worse: {never_worse}, values/iters match: {}",
+                stat.makespan * 1e6,
+                load.makespan * 1e6,
+                load.split_bytes as f64 / 1024.0,
+                load.rerouted_bytes as f64 / 1024.0,
+                per_s.iter().sum::<f64>() * 1e3,
+                per_l.iter().sum::<f64>() * 1e3,
+                per_s.len(),
+                vs == vl && is == il && xl.time >= 0.0
+            ),
+        ));
+    }
+
+    // ISSUE 5: cut-through forwarding strictly shrinks a >= 3-hop detour
+    // — a sparse exchange whose makespan is the store-and-forward chain
+    // floor pipelines down toward the bottleneck hop, with wire
+    // occupancy, byte counts, and payload identical; and a degenerate
+    // chunk (>= the batch, a single chunk — equivalently the knob off)
+    // reprices the store-and-forward model (PR 4) bit-identically.
+    {
+        use hyt_core::LinkSpec;
+        let pcie = base_config().machine.pcie;
+        let spec = LinkSpec::with_nominal_bw(50.0e9);
+        let line =
+            |s: LinkSpec| hyt_core::Interconnect::mesh(4, pcie, &[(0, 1, s), (1, 2, s), (2, 3, s)]);
+        let owned = [64u64 << 20, 0, 0, 0];
+        let participates = [true, false, false, true];
+        let saf = line(spec).price_all_gather(&owned, &participates);
+        let ct = line(spec.with_cut_through(4 << 20)).price_all_gather(&owned, &participates);
+        let degenerate =
+            line(spec.with_cut_through(64 << 20)).price_all_gather(&owned, &participates);
+        out.push(CheckResult::new(
+            "Cut-through: pipelined chunks strictly beat store-and-forward on a 3-hop detour",
+            ct.makespan < saf.makespan
+                && ct.critical_path < saf.critical_path
+                && ct.per_queue_busy == saf.per_queue_busy
+                && ct.payload_bytes == saf.payload_bytes
+                && ct.forwarded_bytes == saf.forwarded_bytes
+                && degenerate == saf,
+            format!(
+                "3-hop chain {:.3}ms -> {:.3}ms (floor {:.3} -> {:.3}ms), \
+                 occupancy/bytes identical: {}, chunk >= batch reprices store-and-forward \
+                 exactly: {}",
+                saf.makespan * 1e3,
+                ct.makespan * 1e3,
+                saf.critical_path * 1e3,
+                ct.critical_path * 1e3,
+                ct.per_queue_busy == saf.per_queue_busy && ct.peer_bytes == saf.peer_bytes,
+                degenerate == saf
             ),
         ));
     }

@@ -14,7 +14,12 @@
 //!   bridges carry *different* specs — PR 3's uniform half-duplex model
 //!   beside the full-duplex fix, an alternating NVLink2/NVLink4 ring,
 //!   and a ring with one 2 GB/s bridge whose pair routing sends back to
-//!   host staging while its neighbours detour device-via-device.
+//!   host staging while its neighbours detour device-via-device;
+//! * **axis 4 — routing model** (ISSUE 5): the same `D = 8` ring walked
+//!   from the PR 4 static single-probe table through byte-size-aware
+//!   breakpoint routing, the load-aware re-route/split second pass, and
+//!   cut-through forwarding — the rerouted/split-bytes columns show the
+//!   second pass working, and the exchange column may only shrink.
 //!
 //! Three findings the tables show:
 //!
@@ -34,7 +39,7 @@
 //!    shows bytes reappearing on the host link.
 //!
 //! Set `REPRO_SMOKE=1` to run a reduced sweep (2 bandwidths; the
-//! mixed-generation axis always runs) in CI.
+//! mixed-generation and routing-model axes always run) in CI.
 
 use crate::context::{base_config, run_algo_with_config, Ctx};
 use crate::table::{pct, secs, Table};
@@ -224,6 +229,58 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
         ]);
     }
 
+    // Routing-model axis (ISSUE 5): the uniform D = 8 full-duplex ring
+    // under progressively smarter routing. Pricing-only changes: values
+    // and iterations are identical row to row, and the load-aware rows
+    // can only shrink the exchange.
+    let shift = crate::context::SCALE_SHIFT;
+    let ladder = crate::context::scaled_route_ladder();
+    let routing_rows: Vec<(&str, HyTGraphConfig)> = {
+        let row = |breakpoints: Vec<u64>, load_aware: bool, cut: Option<u64>| {
+            let base = HyTGraphConfig {
+                topology: TopologyKind::Ring,
+                num_devices: MIXED_DEVICES,
+                route_breakpoints: breakpoints,
+                load_aware_exchange: load_aware,
+                cut_through: cut,
+                threads: 1,
+                ..base_config()
+            };
+            SystemKind::HyTGraph.configure(base)
+        };
+        let chunk = (256u64 << 10) >> shift;
+        vec![
+            ("static single-probe (PR 4)", row(Vec::new(), false, None)),
+            ("byte-size-aware breakpoints", row(ladder.clone(), false, None)),
+            ("breakpoints + load-aware", row(ladder.clone(), true, None)),
+            ("breakpoints + load-aware + cut-through", row(ladder, true, Some(chunk.max(1)))),
+        ]
+    };
+    let mut routing = Table::new(
+        format!(
+            "Extension: routing-model axis (HyTGraph SSSP on FS, D={MIXED_DEVICES} \
+             full-duplex ring, PCIe3 host)"
+        ),
+        &["routing", "time", "exch", "host KB", "peer KB", "fwd KB", "rrt KB", "split KB"],
+    );
+    for (label, cfg) in routing_rows {
+        let m = run_algo_with_config(SystemKind::HyTGraph, AlgoKind::Sssp, &g, cfg);
+        let mut x = hyt_core::ExchangeStats::default();
+        for it in &m.per_iteration {
+            x.merge(&it.exchange);
+        }
+        routing.row(vec![
+            label.to_string(),
+            secs(m.total_time),
+            secs(x.time),
+            format!("{:.1}", x.host_bytes as f64 / 1024.0),
+            format!("{:.1}", x.peer_bytes as f64 / 1024.0),
+            format!("{:.1}", x.forwarded_bytes as f64 / 1024.0),
+            format!("{:.1}", x.rerouted_bytes as f64 / 1024.0),
+            format!("{:.1}", x.split_bytes as f64 / 1024.0),
+        ]);
+    }
+
     // Contention axis: the engine mix vs device count on the paper's
     // PCIe3 link — the ZC/filter crossover moves as D inflates the
     // contended explicit-copy costs.
@@ -238,5 +295,5 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
         contention.row(vec![d.to_string(), pct(f), pct(c), pct(z)]);
     }
 
-    vec![runtime, base_mix, grid, mixed, contention]
+    vec![runtime, base_mix, grid, mixed, routing, contention]
 }

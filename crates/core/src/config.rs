@@ -79,6 +79,31 @@ pub struct HyTGraphConfig {
     /// (e.g. a slow bridge sends its pair back to host staging). Empty
     /// by default.
     pub link_overrides: Vec<(u32, u32, LinkSpec)>,
+    /// Route-probe sizes for byte-size-aware routing: when non-empty,
+    /// the interconnect's route tables are rebuilt at this ladder of
+    /// probe sizes and each exchange batch picks the route that is
+    /// cheapest *at its size* (latency-bound tiny batches may take
+    /// fewer hops than bandwidth-bound bulk ones). Empty by default:
+    /// routes come from the single legacy
+    /// [`hyt_sim::ROUTE_PROBE_BYTES`] probe, bit-identical to PR 4.
+    /// [`hyt_sim::ROUTE_BREAKPOINT_LADDER`] is a ready-made ladder
+    /// (scale it alongside the machine for proxy-sized datasets).
+    pub route_breakpoints: Vec<u64>,
+    /// Re-route the frontier exchange for load: after the static pass,
+    /// a deterministic bounded greedy moves (or splits) batches off the
+    /// busiest contention queue onto their next-cheapest path whenever
+    /// that strictly lowers the priced makespan
+    /// ([`hyt_sim::Interconnect::price_all_gather_load_aware`]) — never
+    /// worse than the static routing. Off by default so exchanges price
+    /// bit-identically to PR 4.
+    pub load_aware_exchange: bool,
+    /// Cut-through chunk size for forwarded chains: when set, every
+    /// peer link without an explicit per-link chunk forwards in chunks
+    /// of this many bytes, pricing multi-hop detours as pipelined
+    /// chunks (bottleneck hop + per-hop ramp) instead of full
+    /// store-and-forward. `None` (the default) keeps store-and-forward,
+    /// bit-identical to PR 4.
+    pub cut_through: Option<u64>,
     /// Overlap the inter-device frontier exchange with the next
     /// iteration's cost analysis instead of pricing it as a post-barrier
     /// serial segment (ROADMAP item 3). Off by default so the serial
@@ -123,6 +148,9 @@ impl Default for HyTGraphConfig {
             topology: TopologyKind::HostOnly,
             peer_link: LinkSpec::nvlink().scaled(SCALE_SHIFT),
             link_overrides: Vec::new(),
+            route_breakpoints: Vec::new(),
+            load_aware_exchange: false,
+            cut_through: None,
             overlap_exchange: false,
             contention_aware_selection: false,
             num_streams: 4,
@@ -159,6 +187,9 @@ mod tests {
         assert_eq!(c.device_assignment, DeviceAssignment::EdgeBalanced);
         assert_eq!(c.topology, TopologyKind::HostOnly, "the paper's platform has no peer links");
         assert!(c.link_overrides.is_empty(), "uniform links unless configured otherwise");
+        assert!(c.route_breakpoints.is_empty(), "single-probe routing is the PR 4 baseline");
+        assert!(!c.load_aware_exchange, "static routing is the reproducible baseline");
+        assert_eq!(c.cut_through, None, "store-and-forward is the PR 4 baseline");
         assert_eq!(c.peer_link.duplex, hyt_sim::Duplex::Full, "NVLink is full-duplex");
         assert!(!c.overlap_exchange, "the serial exchange is the reproducible baseline");
         assert!(!c.contention_aware_selection, "contended costs are opt-in");

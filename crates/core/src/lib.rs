@@ -56,7 +56,7 @@ pub use api::{
 pub use config::{AsyncMode, HyTGraphConfig};
 pub use cost::{partition_costs, PartitionCosts};
 pub use hyt_engines::EngineKind;
-pub use hyt_sim::{Duplex, Interconnect, LinkSpec, Route, TopologyKind};
+pub use hyt_sim::{Duplex, Interconnect, LinkSpec, Route, TopologyKind, ROUTE_BREAKPOINT_LADDER};
 pub use runner::HyTGraphSystem;
 pub use select::{DeviceBudgets, SelectParams, Selection};
 pub use stats::{DeviceIterationStats, EngineMix, ExchangeStats, IterationStats, RunResult};

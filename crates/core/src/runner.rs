@@ -120,14 +120,26 @@ impl HyTGraphSystem {
             config.device_assignment,
             num_hubs,
         );
+        // The blanket cut-through knob applies to every peer link that
+        // does not carry its own per-link chunk size already. Routing
+        // through LinkSpec::with_cut_through keeps its chunk validation
+        // (a zero chunk must fail at build time, not divide-by-zero in
+        // pricing).
+        let cut = |spec: hyt_sim::LinkSpec| match config.cut_through {
+            Some(chunk) if spec.cut_through.is_none() => spec.with_cut_through(chunk),
+            _ => spec,
+        };
         let mut interconnect = Interconnect::build(
             config.topology,
             devices.num_devices() as usize,
             config.machine.pcie,
-            config.peer_link,
+            cut(config.peer_link),
         );
         for &(a, b, spec) in &config.link_overrides {
-            interconnect = interconnect.with_link_spec(a, b, spec);
+            interconnect = interconnect.with_link_spec(a, b, cut(spec));
+        }
+        if !config.route_breakpoints.is_empty() {
+            interconnect = interconnect.with_route_breakpoints(&config.route_breakpoints);
         }
         let mut shard_holders = vec![false; devices.num_devices() as usize];
         for pid in 0..parts.len() as u32 {
@@ -516,10 +528,15 @@ impl HyTGraphSystem {
     /// Price the end-of-iteration all-gather (D > 1 only): each device
     /// publishes the `(id, value)` records of its newly-activated owned
     /// vertices and receives every other shard-holder's batch, routed
-    /// over the configured interconnect on each pair's cheapest path —
-    /// a direct peer link, a forwarded multi-hop peer path, or staging
-    /// through the host root complex — with legs queueing per direction
-    /// queue ([`Interconnect::price_all_gather`]).
+    /// over the configured interconnect on each pair's cheapest path *at
+    /// its batch size* — a direct peer link, a forwarded multi-hop peer
+    /// path (pipelined when `cut_through` chunks are configured), or
+    /// staging through the host root complex — with legs queueing per
+    /// direction queue ([`Interconnect::price_all_gather`]). With
+    /// `config.load_aware_exchange` a second pass re-routes or splits
+    /// batches off the busiest queue whenever that strictly lowers the
+    /// priced makespan
+    /// ([`Interconnect::price_all_gather_load_aware`]).
     ///
     /// Only devices that own a shard participate: a spare device with no
     /// partitions computes nothing, so it neither publishes nor
@@ -536,7 +553,11 @@ impl HyTGraphSystem {
         for v in next.iter() {
             owned[self.devices.device_of(self.parts.owner_of(v)) as usize] += EXCHANGE_RECORD_BYTES;
         }
-        self.interconnect.price_all_gather(owned, &self.shard_holders)
+        if self.config.load_aware_exchange {
+            self.interconnect.price_all_gather_load_aware(owned, &self.shard_holders)
+        } else {
+            self.interconnect.price_all_gather(owned, &self.shard_holders)
+        }
     }
 
     /// Newly-activated vertices that the already-loaded task data can
@@ -845,6 +866,21 @@ mod tests {
         let mut sys = HyTGraphSystem::new(g, cfg);
         let without_hub = sys.run(MiniSssp);
         assert_eq!(with_hub.values, without_hub.values);
+    }
+
+    #[test]
+    #[should_panic(expected = "cut-through chunks must be non-empty")]
+    fn zero_cut_through_chunks_fail_at_build_time() {
+        // A zero chunk must be rejected when the interconnect is built,
+        // not divide-by-zero later in chain pricing.
+        let g = generators::chain(3, true);
+        let cfg = HyTGraphConfig {
+            cut_through: Some(0),
+            topology: hyt_sim::TopologyKind::Ring,
+            num_devices: 2,
+            ..HyTGraphConfig::default()
+        };
+        let _ = HyTGraphSystem::new(g, cfg);
     }
 
     #[test]

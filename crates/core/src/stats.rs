@@ -94,6 +94,13 @@ pub struct ExchangeStats {
     /// forwarded routes (zero when every route is direct or
     /// host-staged).
     pub forwarded_bytes: u64,
+    /// Bytes of whole batches the load-aware second pass moved off
+    /// their static route (zero unless `load_aware_exchange` found a
+    /// strictly-improving re-route).
+    pub rerouted_bytes: u64,
+    /// Bytes travelling on the secondary halves of batches the
+    /// load-aware pass split across two disjoint peer paths.
+    pub split_bytes: u64,
 }
 
 impl ExchangeStats {
@@ -113,6 +120,8 @@ impl ExchangeStats {
         self.host_bytes += other.host_bytes;
         self.peer_bytes += other.peer_bytes;
         self.forwarded_bytes += other.forwarded_bytes;
+        self.rerouted_bytes += other.rerouted_bytes;
+        self.split_bytes += other.split_bytes;
     }
 }
 
@@ -128,6 +137,8 @@ impl From<&hyt_sim::ExchangeReport> for ExchangeStats {
             host_bytes: r.host_bytes,
             peer_bytes: r.peer_bytes,
             forwarded_bytes: r.forwarded_bytes,
+            rerouted_bytes: r.rerouted_bytes,
+            split_bytes: r.split_bytes,
         }
     }
 }

@@ -30,10 +30,13 @@
 //!   pool.
 //! * [`topology`] — the interconnect itself: host root complex plus
 //!   optional NVLink-class peer links (ring / all-to-all / heterogeneous
-//!   meshes, each link with its own spec and duplex discipline), cheapest-
-//!   path transfer routing (direct, device-via-device forwarded, or
-//!   host-staged), and per-direction-queue contention pricing of the
-//!   frontier all-gather.
+//!   meshes, each link with its own spec, duplex discipline, and
+//!   optional cut-through chunk size), byte-size-aware cheapest-path
+//!   transfer routing (per-breakpoint route tables; direct,
+//!   device-via-device forwarded, or host-staged), per-direction-queue
+//!   contention pricing of the frontier all-gather, and an optional
+//!   load-aware second pass that re-routes or splits batches off the
+//!   busiest queue.
 //! * [`clock`] — transfer/volume counters used by Table VI.
 
 pub mod clock;
@@ -53,7 +56,7 @@ pub use pcie::PcieModel;
 pub use streams::{Phase, PhaseSpan, Resource, SimTask, StreamSim, Timeline};
 pub use topology::{
     Duplex, ExchangeReport, Interconnect, Link, LinkClass, LinkRate, LinkSpec, Route, TopologyKind,
-    ROUTE_PROBE_BYTES,
+    MAX_REROUTE_ROUNDS, ROUTE_BREAKPOINT_LADDER, ROUTE_PROBE_BYTES,
 };
 pub use um::{UmCache, UmModel};
 

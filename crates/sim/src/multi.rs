@@ -13,7 +13,10 @@
 //!   lives in host memory), so they queue on the host root complex from
 //!   every device — with the host-only topology this is exactly the
 //!   legacy single shared bus. Peer queues carry the inter-device
-//!   frontier exchange, priced by [`Interconnect::price_all_gather`].
+//!   frontier exchange, priced by [`Interconnect::price_all_gather`]
+//!   over the byte-size-aware route tables (or its load-aware variant,
+//!   [`Interconnect::price_all_gather_load_aware`], which re-routes and
+//!   splits batches off the busiest queue).
 //! * **CPU** — the host compaction pool serves every device's gather
 //!   requests and serialises with itself.
 //!

@@ -138,7 +138,7 @@ proptest! {
                 let cost = ic.route_cost(s, d, probe);
                 // Never above host staging (which is always available).
                 prop_assert!(cost <= host_cost + EPS, "{s}->{d}: {cost} > host {host_cost}");
-                match ic.route(s, d) {
+                match ic.route(s, d, probe) {
                     Route::Direct(l) => {
                         prop_assert!((cost - ic.transfer_time(*l, probe)).abs() < EPS);
                     }

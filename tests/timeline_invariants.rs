@@ -164,16 +164,24 @@ proptest! {
         let pcie = PcieModel::pcie3();
         let peer = LinkSpec::nvlink();
         let participates = vec![true; nd];
-        let r = Interconnect::build(kind, nd, pcie, peer).price_all_gather(&owned, &participates);
+        let ic = Interconnect::build(kind, nd, pcie, peer);
+        let r = ic.price_all_gather(&owned, &participates);
         // Per-queue busy never exceeds the makespan, which is exactly
         // the busiest direction queue (legs on disjoint queues overlap
         // fully) floored by the longest forwarded hop chain (a batch's
         // hops depend on each other even across idle queues).
         let busiest = r.per_queue_busy.iter().fold(r.critical_path, |a, &b| a.max(b));
         prop_assert!((r.makespan - busiest).abs() < EPS);
+        prop_assert!(r.makespan >= r.critical_path - EPS, "makespan under the chain floor");
         for &b in &r.per_queue_busy {
             prop_assert!(b <= r.makespan + EPS);
         }
+        // The load-aware pass may re-route or split batches, but its
+        // makespan still respects the (per-fragment) chain floor and
+        // never exceeds the static pass.
+        let la = ic.price_all_gather_load_aware(&owned, &participates);
+        prop_assert!(la.makespan >= la.critical_path - EPS, "load-aware under its chain floor");
+        prop_assert!(la.makespan <= r.makespan + EPS);
         // A link's wire occupancy is the sum of its queues, and class
         // totals tile the per-link vector.
         let link_sum: f64 = r.per_link_busy.iter().sum();
