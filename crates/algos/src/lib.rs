@@ -14,12 +14,19 @@
 //! | [`Cc`] | label `u32` | min | all | hub |
 //! | [`PageRank`] | `(rank, Δ)` f32×2 | Δ-add | all | Δ |
 //! | [`Php`] | `(score, Δ)` f32×2 | Δ-add | source | Δ |
+//! | [`HyperBall`] | 64 HLL registers (8 lanes) | register max | all | hub |
+//!
+//! HyperBall is the first member of the sketch-analytics family enabled
+//! by the width-aware value layer: its per-vertex state is a 64-byte
+//! register array rather than a 64-bit atom, and its fold is an
+//! idempotent merge rather than a semiring min/add.
 //!
 //! [`reference`] holds simple, obviously-correct sequential oracles; every
 //! program's converged output is tested against its oracle.
 
 pub mod bfs;
 pub mod cc;
+pub mod hyperball;
 pub mod pagerank;
 pub mod php;
 pub mod reference;
@@ -27,6 +34,7 @@ pub mod sssp;
 
 pub use bfs::Bfs;
 pub use cc::Cc;
+pub use hyperball::{run_hyperball, HllSketch, HyperBall, HyperBallResult, HLL_RSE};
 pub use pagerank::PageRank;
 pub use php::Php;
 pub use sssp::Sssp;
@@ -47,6 +55,8 @@ pub enum AlgoKind {
     Bfs,
     /// Penalised hitting probability (Δ-accumulative, weighted).
     Php,
+    /// HyperBall neighbourhood-function sketching (wide idempotent merge).
+    HyperBall,
 }
 
 impl AlgoKind {
@@ -62,6 +72,7 @@ impl AlgoKind {
             AlgoKind::Cc => "CC",
             AlgoKind::Bfs => "BFS",
             AlgoKind::Php => "PHP",
+            AlgoKind::HyperBall => "HB",
         }
     }
 
@@ -73,6 +84,7 @@ impl AlgoKind {
             "CC" => Some(AlgoKind::Cc),
             "BFS" => Some(AlgoKind::Bfs),
             "PHP" => Some(AlgoKind::Php),
+            "HB" | "HYPERBALL" => Some(AlgoKind::HyperBall),
             _ => None,
         }
     }
@@ -84,7 +96,14 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for a in [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Cc, AlgoKind::Bfs, AlgoKind::Php] {
+        for a in [
+            AlgoKind::PageRank,
+            AlgoKind::Sssp,
+            AlgoKind::Cc,
+            AlgoKind::Bfs,
+            AlgoKind::Php,
+            AlgoKind::HyperBall,
+        ] {
             assert_eq!(AlgoKind::parse(a.name()), Some(a));
         }
         assert_eq!(AlgoKind::parse("pagerank"), Some(AlgoKind::PageRank));

@@ -140,6 +140,59 @@ pub fn php(graph: &Csr, source: VertexId, decay: f64, iterations: u32) -> Vec<f6
     score
 }
 
+/// Exact neighbourhood statistics computed by all-pairs BFS — the oracle
+/// for `crate::hyperball`'s sketch estimates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NeighbourhoodOracle {
+    /// `nf[t]` = number of ordered pairs `(u, v)` with `d(u→v) ≤ t`,
+    /// including the `nv` trivial `d = 0` pairs; `nf[0] = nv`. The last
+    /// entry is the number of connected (reachable) pairs.
+    pub nf: Vec<f64>,
+    /// In-harmonic centrality: `harmonic[v] = Σ_{u ≠ v reaching v} 1/d(u→v)`
+    /// (pass the transpose to get the out-distance convention).
+    pub harmonic: Vec<f64>,
+    /// `sum_of_distances[v] = Σ_{u reaching v} d(u→v)` — the denominator
+    /// of (in-)closeness centrality.
+    pub sum_of_distances: Vec<f64>,
+    /// Largest finite directed distance (0 for edgeless graphs).
+    pub diameter: u32,
+}
+
+/// All-pairs BFS over out-edges: hop distances `d(u→v)`, folded into the
+/// neighbourhood function and per-vertex centrality sums. Quadratic and
+/// deliberately naive — the obviously-correct baseline the HyperBall
+/// sketches are tested against.
+pub fn neighbourhood_function(graph: &Csr) -> NeighbourhoodOracle {
+    let nv = graph.num_vertices() as usize;
+    let mut nf_counts: Vec<u64> = vec![nv as u64]; // t = 0: the diagonal
+    let mut harmonic = vec![0.0f64; nv];
+    let mut sum_of_distances = vec![0.0f64; nv];
+    let mut diameter = 0u32;
+    for u in 0..nv as u32 {
+        let depth = bfs_depths(graph, u);
+        for (v, &d) in depth.iter().enumerate() {
+            if d == UNREACHED || d == 0 {
+                continue;
+            }
+            if nf_counts.len() <= d as usize {
+                nf_counts.resize(d as usize + 1, 0);
+            }
+            nf_counts[d as usize] += 1;
+            harmonic[v] += 1.0 / d as f64;
+            sum_of_distances[v] += d as f64;
+            diameter = diameter.max(d);
+        }
+    }
+    // Prefix-sum the per-distance counts into the cumulative N(t).
+    let mut nf = Vec::with_capacity(nf_counts.len());
+    let mut acc = 0u64;
+    for c in nf_counts {
+        acc += c;
+        nf.push(acc as f64);
+    }
+    NeighbourhoodOracle { nf, harmonic, sum_of_distances, diameter }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +230,33 @@ mod tests {
         let r300 = pagerank(&g, 0.85, 300);
         let err: f64 = r200.iter().zip(&r300).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-9, "not converged: {err}");
+    }
+
+    #[test]
+    fn neighbourhood_oracle_on_chain() {
+        // 0→1→2→3→4 with all pairs (u, v), u ≤ v, at distance v − u.
+        let g = generators::chain(5, true);
+        let o = neighbourhood_function(&g);
+        // N(t): 5 diagonal + 4 at d=1 + 3 + 2 + 1.
+        assert_eq!(o.nf, vec![5.0, 9.0, 12.0, 14.0, 15.0]);
+        assert_eq!(o.diameter, 4);
+        // Vertex 2 is reached by 0 (d=2) and 1 (d=1).
+        assert!((o.harmonic[2] - 1.5).abs() < 1e-12);
+        assert!((o.sum_of_distances[2] - 3.0).abs() < 1e-12);
+        assert_eq!(o.harmonic[0], 0.0);
+    }
+
+    #[test]
+    fn neighbourhood_oracle_counts_reachable_pairs() {
+        let g = generators::rmat(7, 4.0, 5, false);
+        let o = neighbourhood_function(&g);
+        // Cumulative and capped by nv².
+        for w in o.nf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        let nv = g.num_vertices() as f64;
+        assert!(*o.nf.last().unwrap() <= nv * nv);
+        assert_eq!(o.nf[0], nv);
     }
 
     #[test]

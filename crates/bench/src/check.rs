@@ -532,6 +532,75 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         ));
     }
 
+    // ISSUE 6: the HyperBall sketch tracks the exact neighbourhood
+    // function within standard HLL error bounds (4 sigma of 1.04/sqrt(64)
+    // per radius) against the all-pairs-BFS oracle, and the diameter
+    // lower bound never exceeds the true diameter.
+    {
+        use hyt_algos::hyperball::{run_hyperball, HLL_RSE};
+        let g = hyt_graph::generators::rmat(10, 8.0, 21, false);
+        let oracle = hyt_algos::reference::neighbourhood_function(&g);
+        let r = run_hyperball(g, base_config());
+        let upto = r.nf.len().min(oracle.nf.len());
+        let mut worst = 0.0f64;
+        for t in 1..upto {
+            worst = worst.max((r.nf[t] - oracle.nf[t]).abs() / oracle.nf[t]);
+        }
+        out.push(CheckResult::new(
+            "HyperBall: sketched N(t) within 4-sigma HLL error of the exact oracle",
+            upto >= 2 && worst < 4.0 * HLL_RSE && r.diameter_lower_bound <= oracle.diameter,
+            format!(
+                "worst relative error {:.1}% over {} radii (budget {:.1}%); \
+                 diameter bound {} <= exact {}",
+                worst * 100.0,
+                upto.saturating_sub(1),
+                4.0 * HLL_RSE * 100.0,
+                r.diameter_lower_bound,
+                oracle.diameter
+            ),
+        ));
+    }
+
+    // ISSUE 6: value width is a first-class pricing input — the 56-byte
+    // compaction surplus of a 64-byte sketch makes formula (2) lose a
+    // partition that narrow 8-byte values win (ExpCompaction flips to
+    // ImpZeroCopy), and the exchange record grows from 12 to 68 bytes.
+    {
+        use hyt_core::api::ValueLayout;
+        use hyt_core::select::select_engines;
+        use hyt_core::{EngineKind, SelectParams, Selection};
+        use hyt_engines::PartitionActivity;
+        let a = PartitionActivity {
+            partition: 0,
+            active_vertices: (0..2_000).collect(),
+            active_edges: 4_000,
+            total_edges: 200_000,
+            zc_requests: 2_000,
+        };
+        let pcie = hyt_sim::PcieModel::pcie3();
+        let acts = std::slice::from_ref(&a);
+        let narrow_params = SelectParams::default();
+        let narrow = select_engines(acts, &pcie, 4, Selection::Hybrid, &narrow_params)[0].1;
+        let sketch = ValueLayout { lanes: 8, wire_bytes: 64 };
+        let wide_params =
+            SelectParams { value_surplus: sketch.compaction_surplus(), ..SelectParams::default() };
+        let wide = select_engines(acts, &pcie, 4, Selection::Hybrid, &wide_params)[0].1;
+        out.push(CheckResult::new(
+            "Width-aware pricing: a 64B sketch flips an engine choice 8B values keep",
+            narrow == EngineKind::ExpCompaction
+                && wide == EngineKind::ImpZeroCopy
+                && sketch.record_bytes() == 68
+                && ValueLayout::narrow().record_bytes() == 12,
+            format!(
+                "2000 active vertices / 4000 of 200k edges: narrow -> {narrow:?}, \
+                 +{}B surplus -> {wide:?}; exchange records {} B vs {} B",
+                sketch.compaction_surplus(),
+                ValueLayout::narrow().record_bytes(),
+                sketch.record_bytes()
+            ),
+        ));
+    }
+
     out
 }
 

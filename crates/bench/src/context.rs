@@ -1,8 +1,10 @@
 //! Shared experiment context: dataset cache, machine/config construction,
 //! and the algorithm-dispatching run helper.
 
-use hyt_algos::{AlgoKind, Bfs, Cc, PageRank, Php, Sssp};
-use hyt_core::{HyTGraphConfig, HyTGraphSystem, IterationStats, SystemKind, VertexProgram};
+use hyt_algos::{AlgoKind, Bfs, Cc, HyperBall, PageRank, Php, Sssp};
+use hyt_core::{
+    AsyncMode, HyTGraphConfig, HyTGraphSystem, IterationStats, SystemKind, VertexProgram,
+};
 use hyt_graph::datasets::{self, Dataset, DatasetId};
 use hyt_graph::{Csr, VertexId};
 use hyt_sim::{GpuModel, MachineModel, TransferCounters};
@@ -127,16 +129,7 @@ pub fn run_algo(
     graph: &Csr,
     base: HyTGraphConfig,
 ) -> RunMetrics {
-    let cfg = system.configure(base);
-    let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
-    let src = source_vertex(graph);
-    match algo {
-        AlgoKind::PageRank => collect(system, algo, &mut sys, PageRank::new()),
-        AlgoKind::Sssp => collect(system, algo, &mut sys, Sssp::from_source(src)),
-        AlgoKind::Cc => collect(system, algo, &mut sys, Cc::new()),
-        AlgoKind::Bfs => collect(system, algo, &mut sys, Bfs::from_source(src)),
-        AlgoKind::Php => collect(system, algo, &mut sys, Php::from_source(src)),
-    }
+    run_algo_with_config(system, algo, graph, system.configure(base))
 }
 
 /// Run with an explicit, already-configured `HyTGraphConfig` (for the
@@ -145,8 +138,14 @@ pub fn run_algo_with_config(
     system: SystemKind,
     algo: AlgoKind,
     graph: &Csr,
-    cfg: HyTGraphConfig,
+    mut cfg: HyTGraphConfig,
 ) -> RunMetrics {
+    if algo == AlgoKind::HyperBall {
+        // HyperBall's per-radius trajectory is only meaningful when every
+        // iteration is a synchronous ball-growth round (mirrors
+        // `run_hyperball`); the registers themselves converge either way.
+        cfg.async_mode = AsyncMode::Sync;
+    }
     let mut sys = HyTGraphSystem::new(graph.clone(), cfg);
     let src = source_vertex(graph);
     match algo {
@@ -155,6 +154,9 @@ pub fn run_algo_with_config(
         AlgoKind::Cc => collect(system, algo, &mut sys, Cc::new()),
         AlgoKind::Bfs => collect(system, algo, &mut sys, Bfs::from_source(src)),
         AlgoKind::Php => collect(system, algo, &mut sys, Php::from_source(src)),
+        AlgoKind::HyperBall => {
+            collect(system, algo, &mut sys, HyperBall::new(graph.num_vertices()))
+        }
     }
 }
 

@@ -8,8 +8,10 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hyperball;
 pub mod multigpu;
 pub mod nvlink;
+pub mod perf;
 pub mod table1;
 pub mod table2;
 pub mod table5;
@@ -116,6 +118,16 @@ pub fn registry() -> Vec<Experiment> {
             name: "multigpu",
             about: "extension: device-count scaling + interconnect topology exchange breakdown",
             run: multigpu::run,
+        },
+        Experiment {
+            name: "hyperball",
+            about: "extension: HyperBall sketch accuracy vs exact oracle + wide-record sharding",
+            run: hyperball::run,
+        },
+        Experiment {
+            name: "perf",
+            about: "extension: machine-readable perf baseline (BENCH_PERF.json)",
+            run: perf::run,
         },
     ]
 }

@@ -1,0 +1,111 @@
+//! Extension experiment: machine-readable performance baseline (ISSUE 6).
+//!
+//! Emits `BENCH_PERF.json` (override with `BENCH_OUT`) — the first
+//! committed perf snapshot of the repo, so later PRs can diff simulated
+//! runtimes instead of re-deriving them from tables. One record per
+//! `(dataset, algorithm, device count)` cell:
+//!
+//! * the four Table V algorithms (PR, SSSP, CC, BFS) plus HyperBall, the
+//!   first wide-value program;
+//! * `D ∈ {1, 4, 8}` devices on the HyTGraph preset, single-threaded host
+//!   kernels so every figure is bit-reproducible run to run.
+//!
+//! Set `REPRO_SMOKE=1` for a reduced sweep (one dataset, `D ∈ {1, 4}`)
+//! in CI; the committed baseline comes from the full sweep.
+
+use crate::context::{base_config, run_algo_with_config, Ctx};
+use crate::table::{secs, Table};
+use hyt_algos::AlgoKind;
+use hyt_core::SystemKind;
+use hyt_graph::DatasetId;
+use serde::Serialize;
+
+/// Schema tag for the emitted JSON, bumped on layout changes.
+pub const PERF_SCHEMA: &str = "hytgraph-perf-v1";
+
+/// One `(dataset, algo, devices)` measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfRecord {
+    /// Dataset short name (e.g. `SK`).
+    pub dataset: String,
+    /// Algorithm short name (e.g. `HB`).
+    pub algo: String,
+    /// Device count the run was sharded over.
+    pub devices: usize,
+    /// Iterations to convergence.
+    pub iterations: u32,
+    /// Simulated makespan in seconds.
+    pub total_time: f64,
+    /// Priced inter-device exchange payload in bytes (0 at `D = 1`).
+    pub exchange_bytes: u64,
+}
+
+/// The emitted baseline file.
+#[derive(Debug, Serialize)]
+pub struct PerfBaseline {
+    /// Schema tag ([`PERF_SCHEMA`]).
+    pub schema: &'static str,
+    /// System preset every record ran under.
+    pub system: &'static str,
+    /// Measurements, in sweep order.
+    pub records: Vec<PerfRecord>,
+}
+
+const ALGOS: [AlgoKind; 5] =
+    [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Cc, AlgoKind::Bfs, AlgoKind::HyperBall];
+
+/// Run the sweep (pure; no I/O) — also used by the integration tests.
+pub fn collect_baseline(ctx: &mut Ctx, smoke: bool) -> PerfBaseline {
+    let datasets: &[DatasetId] =
+        if smoke { &[DatasetId::Sk] } else { &[DatasetId::Sk, DatasetId::Tw] };
+    let devices: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 8] };
+    let mut records = Vec::new();
+    for &ds in datasets {
+        let g = ctx.graph(ds);
+        for algo in ALGOS {
+            for &d in devices {
+                let mut cfg = SystemKind::HyTGraph.configure(base_config());
+                cfg.num_devices = d;
+                cfg.threads = 1; // bit-reproducible host kernels
+                let m = run_algo_with_config(SystemKind::HyTGraph, algo, &g, cfg);
+                records.push(PerfRecord {
+                    dataset: ds.name().to_string(),
+                    algo: algo.name().to_string(),
+                    devices: d,
+                    iterations: m.iterations,
+                    total_time: m.total_time,
+                    exchange_bytes: m.counters.exchange_bytes,
+                });
+            }
+        }
+    }
+    PerfBaseline { schema: PERF_SCHEMA, system: SystemKind::HyTGraph.name(), records }
+}
+
+/// Regenerate the perf baseline: write the JSON file and return the same
+/// figures as a printable table.
+pub fn run(ctx: &mut Ctx) -> Vec<Table> {
+    let smoke = std::env::var("REPRO_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let baseline = collect_baseline(ctx, smoke);
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serialises");
+    match std::fs::write(&path, json + "\n") {
+        Ok(()) => eprintln!("   wrote {} records to {path}", baseline.records.len()),
+        Err(e) => eprintln!("   could not write {path}: {e}"),
+    }
+    let mut t = Table::new(
+        format!("Perf baseline ({}, {})", baseline.schema, baseline.system),
+        &["dataset", "algo", "D", "iters", "time", "exchange KB"],
+    );
+    for r in &baseline.records {
+        t.row(vec![
+            r.dataset.clone(),
+            r.algo.clone(),
+            r.devices.to_string(),
+            r.iterations.to_string(),
+            secs(r.total_time),
+            format!("{:.1}", r.exchange_bytes as f64 / 1024.0),
+        ]);
+    }
+    vec![t]
+}

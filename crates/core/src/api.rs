@@ -14,28 +14,122 @@
 //! 2. [`VertexProgram::message`] — the per-edge message computed from the
 //!    seed and the edge context.
 //! 3. [`VertexProgram::accumulate`] — fold a message into the target state
-//!    (must be commutative and idempotent-safe under CAS retry).
+//!    (must be commutative and idempotent-safe under retry).
 //! 4. [`VertexProgram::should_activate`] — whether the fold makes the
 //!    target active (PR only activates when Δ crosses ε).
 //!
-//! Values live in a lock-free [`Values`] array of 64-bit atoms; any state
-//! that packs into 64 bits (every algorithm in the paper) works. Updates
-//! are CAS loops, the CPU analogue of the `atomicMin`/`atomicAdd` the
-//! paper's CUDA kernels use.
+//! # Value width
+//!
+//! Values live in a [`Values`] array of 64-bit atoms. A program's state is
+//! no longer restricted to *one* atom: [`VertexValue::LANES`] declares how
+//! many consecutive 64-bit lanes one vertex's state occupies (striped
+//! per-vertex), and [`VertexValue::WIRE_BYTES`] how many bytes of it cross
+//! an interconnect when the vertex is published. Single-lane values keep
+//! the paper's lock-free CAS update path bit-for-bit (the CPU analogue of
+//! the `atomicMin`/`atomicAdd` the paper's CUDA kernels use); multi-lane
+//! values — e.g. the 64 HyperLogLog registers of
+//! `hyt_algos::hyperball` — update under a striped mutex (multi-word CAS
+//! does not exist) while reads stay lock-free per lane. A lock-free read
+//! may therefore be *torn* across lanes: each lane is individually valid
+//! but possibly from different moments. That is safe exactly when the
+//! program's fold is lane-wise monotone and idempotent (every lane of a
+//! torn read is between the old and new states, so re-merging it cannot
+//! un-converge anything) — the contract wide programs must satisfy, and
+//! HLL register-max does.
+//!
+//! Engine pricing, exchange sizing, and budget carving all derive the
+//! per-vertex footprint from the program's [`ValueLayout`] instead of
+//! assuming ~8 bytes; [`ValueLayout::narrow`] reproduces the historical
+//! constants exactly, so every pre-existing program prices identically.
+//!
+//! # Convergence contract (non-monotone folds allowed)
+//!
+//! The runner's convergence test is purely *operational*: a vertex is
+//! re-activated whenever [`VertexProgram::accumulate`] reports a change
+//! (returns `Some`) and [`VertexProgram::should_activate`] agrees, and the
+//! run ends when an iteration activates nobody. Nothing in the runner,
+//! the priority scheduler, or the cost model assumes the fold is a
+//! monotone semiring — `accumulate` may be **any commutative merge with
+//! explicit change detection**. Termination is the *program's*
+//! obligation: it must guarantee that every vertex's state can change
+//! only finitely often (monotone folds get this for free; idempotent
+//! bounded merges like HLL register-max get it because registers only
+//! grow within a finite range; ε-thresholded accumulation gets it by
+//! declining sub-ε changes in `should_activate`). Under the asynchronous
+//! mode the fold should additionally be idempotent or
+//! delta-conserving, since a recompute pass may re-deliver a message
+//! that raced with a concurrent claim.
+//!
+//! # Per-iteration observation
+//!
+//! Programs that need the trajectory — not just the fixpoint — opt in
+//! with [`VertexProgram::OBSERVES_ITERATIONS`]: after every iteration the
+//! runner hands [`VertexProgram::observe_iteration`] a snapshot of all
+//! values in **original** vertex-id order (hub-sort relabelling undone).
+//! HyperBall uses this to read the neighbourhood function N(t) off the
+//! sketch estimates at every radius t.
 
 use hyt_graph::{VertexId, Weight};
+use serde::Serialize;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// A vertex state that packs into 64 bits (the unit of atomic update).
+/// Upper bound on [`VertexValue::LANES`], so lane staging can use fixed
+/// stack buffers (16 lanes = 128 bytes of state per vertex, far beyond
+/// any current program).
+pub const MAX_VALUE_LANES: usize = 16;
+
+/// Bytes of the vertex-id half of an exchange record (a `u32` id).
+pub const EXCHANGE_ID_BYTES: u64 = 4;
+
+/// Mutex stripes shared by all wide-value vertices of one [`Values`]
+/// array (lane count > 1 only; single-lane arrays allocate none).
+const VALUE_LOCK_STRIPES: usize = 64;
+
+/// A vertex state stored in one or more 64-bit lanes.
+///
+/// Single-lane values (`LANES == 1`, the default) round-trip through
+/// [`to_bits`](VertexValue::to_bits)/[`from_bits`](VertexValue::from_bits)
+/// and get the lock-free CAS update path. Wide values (`LANES > 1`)
+/// implement [`store_lanes`](VertexValue::store_lanes)/
+/// [`load_lanes`](VertexValue::load_lanes) instead; their `to_bits`/
+/// `from_bits` are never called by [`Values`] and may panic.
 pub trait VertexValue: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
-    /// Encode into the atomic cell.
+    /// Consecutive 64-bit lanes one vertex's state occupies
+    /// (1..=[`MAX_VALUE_LANES`]).
+    const LANES: usize = 1;
+
+    /// Bytes of state that ride an inter-device exchange record for one
+    /// published vertex (alongside [`EXCHANGE_ID_BYTES`] of id). Defaults
+    /// to one full lane; types that pack tighter (e.g. `u32`) or wider
+    /// (e.g. 64 one-byte HLL registers) override it.
+    const WIRE_BYTES: u64 = 8;
+
+    /// Encode into the atomic cell (single-lane values).
     fn to_bits(self) -> u64;
-    /// Decode from the atomic cell.
+    /// Decode from the atomic cell (single-lane values).
     fn from_bits(bits: u64) -> Self;
+
+    /// Stage this value into `out` (`LANES` slots). Default delegates to
+    /// [`to_bits`](VertexValue::to_bits); wide values must override.
+    fn store_lanes(self, out: &mut [u64]) {
+        out[0] = self.to_bits();
+    }
+
+    /// Rebuild from `lanes` (`LANES` slots). Default delegates to
+    /// [`from_bits`](VertexValue::from_bits); wide values must override.
+    fn load_lanes(lanes: &[u64]) -> Self {
+        Self::from_bits(lanes[0])
+    }
 }
 
 impl VertexValue for u32 {
+    /// Half a lane on the wire: a 4-byte value makes a smaller exchange
+    /// record than an 8-byte one (the exchange ships `id + value`, not
+    /// the storage lane).
+    const WIRE_BYTES: u64 = 4;
+
     fn to_bits(self) -> u64 {
         self as u64
     }
@@ -81,6 +175,65 @@ impl VertexValue for F32Pair {
     }
 }
 
+/// Per-vertex value footprint of a program, as every width-sensitive
+/// layer consumes it: storage lanes (budget carving, staging buffers)
+/// and wire bytes (exchange records, compaction gathers).
+///
+/// [`ValueLayout::narrow`] — one lane, 8 wire bytes — reproduces the
+/// historical hard-coded constants exactly, so it is the identity layout
+/// for every pre-existing 64-bit-atom program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct ValueLayout {
+    /// 64-bit storage lanes per vertex ([`VertexValue::LANES`]).
+    pub lanes: u32,
+    /// Bytes of value payload per exchanged vertex
+    /// ([`VertexValue::WIRE_BYTES`]).
+    pub wire_bytes: u64,
+}
+
+impl ValueLayout {
+    /// The layout of value type `V`.
+    pub fn of<V: VertexValue>() -> ValueLayout {
+        ValueLayout { lanes: V::LANES as u32, wire_bytes: V::WIRE_BYTES }
+    }
+
+    /// The single-lane 64-bit-atom layout every pre-refactor program had.
+    pub const fn narrow() -> ValueLayout {
+        ValueLayout { lanes: 1, wire_bytes: 8 }
+    }
+
+    /// Resident bytes of value storage per vertex (8 per lane).
+    pub const fn lane_bytes(&self) -> u64 {
+        8 * self.lanes as u64
+    }
+
+    /// Bytes per record of the inter-device frontier exchange: a 32-bit
+    /// vertex id plus this value's wire payload. Narrow layout: 12, the
+    /// historical `EXCHANGE_RECORD_BYTES`.
+    pub const fn record_bytes(&self) -> u64 {
+        EXCHANGE_ID_BYTES + self.wire_bytes
+    }
+
+    /// GPU-resident vertex-associated bytes per vertex: 16 bytes of
+    /// value-independent state (row offset, neighbour index, activity
+    /// bitmaps) plus the value lanes. Narrow layout: 24, the historical
+    /// `VERTEX_STATE_BYTES` carved out of device memory before edge data
+    /// can be cached (Section II-A's data placement).
+    pub const fn state_bytes(&self) -> u64 {
+        16 + self.lane_bytes()
+    }
+
+    /// Extra per-active-vertex bytes a compaction gather (and its cost
+    /// formula (2) pricing) moves beyond the 8-byte slot the narrow
+    /// model already charges via `d2`. Zero for every value at or under
+    /// 8 wire bytes — an exact pricing identity for all pre-existing
+    /// programs — and `WIRE_BYTES − 8` for wide ones, which is what can
+    /// flip an engine choice for sketch-width values.
+    pub const fn compaction_surplus(&self) -> u64 {
+        self.wire_bytes.saturating_sub(8)
+    }
+}
+
 /// Edge context handed to [`VertexProgram::message`].
 #[derive(Clone, Copy, Debug)]
 pub struct EdgeCtx {
@@ -116,7 +269,9 @@ pub enum PriorityMode {
 }
 
 /// A push-based vertex program. See the module docs for the execution
-/// contract of each hook.
+/// contract of each hook and for the convergence contract (the fold need
+/// not be monotone — only commutative, change-detecting, and finitely
+/// changing).
 pub trait VertexProgram: Sync {
     /// Per-vertex state.
     type Value: VertexValue;
@@ -130,6 +285,11 @@ pub trait VertexProgram: Sync {
     /// on weighted graphs — the reason unified memory can cache all of
     /// SK for PR/CC/BFS in Table V while SSSP oversubscribes.
     const NEEDS_WEIGHTS: bool = false;
+
+    /// Opt in to [`VertexProgram::observe_iteration`] snapshots. Off by
+    /// default (the snapshot + relabelling pass costs a vertex scan per
+    /// iteration, so only trajectory-reading programs pay it).
+    const OBSERVES_ITERATIONS: bool = false;
 
     /// Initial state of vertex `v`.
     fn init(&self, v: VertexId) -> Self::Value;
@@ -166,7 +326,9 @@ pub trait VertexProgram: Sync {
 
     /// Fold `msg` into the receiving vertex's state; `None` when the state
     /// is unchanged (no write, no activation). Must be commutative across
-    /// concurrent messages.
+    /// concurrent messages, and must report *every* change — the runner's
+    /// convergence accounting is driven entirely by this explicit change
+    /// detection, with no monotonicity assumed (see the module docs).
     fn accumulate(&self, state: Self::Value, msg: Self::Value) -> Option<Self::Value>;
 
     /// Whether the fold `old → new` makes the receiver active. Default:
@@ -185,12 +347,74 @@ pub trait VertexProgram: Sync {
     fn delta_of(&self, _state: Self::Value) -> f64 {
         0.0
     }
+
+    /// End-of-iteration callback when [`OBSERVES_ITERATIONS`]
+    /// (`Self::OBSERVES_ITERATIONS`) is set: `values` is a snapshot of
+    /// every vertex's state *after* iteration `iteration`, in original
+    /// vertex-id order. Called for both the GPU and CPU-only paths, and
+    /// for the final (nothing-activated) iteration too.
+    fn observe_iteration(&self, _iteration: u32, _values: &[Self::Value]) {}
 }
 
-/// Lock-free per-vertex state array.
+/// Shared references are programs too: a driver can run `&program` and
+/// keep the program afterwards — how observer programs (HyperBall) hand
+/// their accumulated trajectory back out of [`observe_iteration`]
+/// (`VertexProgram::observe_iteration`) state.
+impl<P: VertexProgram + ?Sized> VertexProgram for &P {
+    type Value = P::Value;
+    const NEEDS_WEIGHTED_DEGREE: bool = P::NEEDS_WEIGHTED_DEGREE;
+    const NEEDS_WEIGHTS: bool = P::NEEDS_WEIGHTS;
+    const OBSERVES_ITERATIONS: bool = P::OBSERVES_ITERATIONS;
+
+    fn init(&self, v: VertexId) -> Self::Value {
+        (**self).init(v)
+    }
+    fn initial_frontier(&self) -> InitialFrontier {
+        (**self).initial_frontier()
+    }
+    fn activate(&self, state: Self::Value) -> (Self::Value, Self::Value) {
+        (**self).activate(state)
+    }
+    fn claim_from_snapshot(
+        &self,
+        state: Self::Value,
+        snap: Self::Value,
+    ) -> (Self::Value, Self::Value) {
+        (**self).claim_from_snapshot(state, snap)
+    }
+    fn message(&self, seed: Self::Value, ctx: EdgeCtx) -> Option<Self::Value> {
+        (**self).message(seed, ctx)
+    }
+    fn accumulate(&self, state: Self::Value, msg: Self::Value) -> Option<Self::Value> {
+        (**self).accumulate(state, msg)
+    }
+    fn should_activate(&self, old: Self::Value, new: Self::Value) -> bool {
+        (**self).should_activate(old, new)
+    }
+    fn priority_mode(&self) -> PriorityMode {
+        (**self).priority_mode()
+    }
+    fn delta_of(&self, state: Self::Value) -> f64 {
+        (**self).delta_of(state)
+    }
+    fn observe_iteration(&self, iteration: u32, values: &[Self::Value]) {
+        (**self).observe_iteration(iteration, values)
+    }
+}
+
+/// Per-vertex state array: `LANES` consecutive 64-bit atoms per vertex.
+///
+/// Single-lane values are lock-free (CAS update loops, exactly the
+/// pre-refactor behaviour). Wide values serialise read-modify-write
+/// updates through [`VALUE_LOCK_STRIPES`] mutex stripes while keeping
+/// reads lock-free per lane — see the module docs for why torn reads are
+/// safe for lane-wise monotone merges.
 #[derive(Debug)]
 pub struct Values<V: VertexValue> {
     bits: Vec<AtomicU64>,
+    /// Update stripes; empty when `V::LANES == 1`.
+    locks: Box<[Mutex<()>]>,
+    len: usize,
     _marker: PhantomData<V>,
 }
 
@@ -203,37 +427,67 @@ impl<V: VertexValue> Values<V> {
     /// Initialise from an arbitrary id→value function (used by the runner
     /// to compose `init` with the hub-sort relabelling).
     pub fn init_with(num_vertices: u32, f: impl Fn(VertexId) -> V) -> Self {
-        let bits = (0..num_vertices).map(|v| AtomicU64::new(f(v).to_bits())).collect();
-        Values { bits, _marker: PhantomData }
+        assert!(
+            (1..=MAX_VALUE_LANES).contains(&V::LANES),
+            "VertexValue::LANES must be 1..={MAX_VALUE_LANES}, got {}",
+            V::LANES
+        );
+        let mut bits = Vec::with_capacity(num_vertices as usize * V::LANES);
+        let mut buf = [0u64; MAX_VALUE_LANES];
+        for v in 0..num_vertices {
+            f(v).store_lanes(&mut buf[..V::LANES]);
+            bits.extend(buf[..V::LANES].iter().map(|&b| AtomicU64::new(b)));
+        }
+        let locks = if V::LANES == 1 {
+            Box::from([])
+        } else {
+            (0..VALUE_LOCK_STRIPES).map(|_| Mutex::new(())).collect()
+        };
+        Values { bits, locks, len: num_vertices as usize, _marker: PhantomData }
     }
 
     /// Number of vertices.
     pub fn len(&self) -> usize {
-        self.bits.len()
+        self.len
     }
 
     /// True for a zero-vertex graph.
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.len == 0
     }
 
-    /// Read the state of `v`.
+    /// Read the state of `v`. Wide values read lock-free per lane, so
+    /// the result can be torn across lanes under concurrent updates
+    /// (safe for lane-wise monotone merges; see module docs).
     #[inline]
     pub fn get(&self, v: VertexId) -> V {
-        V::from_bits(self.bits[v as usize].load(Ordering::Relaxed))
+        if V::LANES == 1 {
+            V::from_bits(self.bits[v as usize].load(Ordering::Relaxed))
+        } else {
+            self.read_lanes(v)
+        }
     }
 
     /// Overwrite the state of `v` (single-threaded phases only).
     #[inline]
     pub fn set(&self, v: VertexId, val: V) {
-        self.bits[v as usize].store(val.to_bits(), Ordering::Relaxed);
+        if V::LANES == 1 {
+            self.bits[v as usize].store(val.to_bits(), Ordering::Relaxed);
+        } else {
+            self.write_lanes(v, val);
+        }
     }
 
-    /// CAS-update loop: apply `f` until it either returns `None` (no
-    /// change needed) or the swap succeeds. Returns `Some((old, new))` on
-    /// success, `None` if `f` declined.
+    /// Update loop: apply `f` until it either returns `None` (no change
+    /// needed) or the write commits. Returns `Some((old, new))` on
+    /// success, `None` if `f` declined. Single-lane values CAS
+    /// lock-free; wide values hold their mutex stripe across the
+    /// read-modify-write.
     #[inline]
     pub fn update(&self, v: VertexId, mut f: impl FnMut(V) -> Option<V>) -> Option<(V, V)> {
+        if V::LANES != 1 {
+            return self.update_wide(v, f);
+        }
         let cell = &self.bits[v as usize];
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
@@ -251,9 +505,38 @@ impl<V: VertexValue> Values<V> {
         }
     }
 
-    /// Snapshot all states (oracle comparison, sync-mode seed reads).
+    /// Snapshot all states (oracle comparison, sync-mode seed reads,
+    /// iteration observers).
     pub fn snapshot(&self) -> Vec<V> {
-        self.bits.iter().map(|b| V::from_bits(b.load(Ordering::Relaxed))).collect()
+        (0..self.len as u32).map(|v| self.get(v)).collect()
+    }
+
+    /// Wide-value read-modify-write under the vertex's mutex stripe.
+    fn update_wide(&self, v: VertexId, mut f: impl FnMut(V) -> Option<V>) -> Option<(V, V)> {
+        let _guard =
+            self.locks[v as usize % self.locks.len()].lock().expect("value stripe poisoned");
+        let old = self.read_lanes(v);
+        let new = f(old)?;
+        self.write_lanes(v, new);
+        Some((old, new))
+    }
+
+    fn read_lanes(&self, v: VertexId) -> V {
+        let base = v as usize * V::LANES;
+        let mut buf = [0u64; MAX_VALUE_LANES];
+        for (i, slot) in buf[..V::LANES].iter_mut().enumerate() {
+            *slot = self.bits[base + i].load(Ordering::Relaxed);
+        }
+        V::load_lanes(&buf[..V::LANES])
+    }
+
+    fn write_lanes(&self, v: VertexId, val: V) {
+        let mut buf = [0u64; MAX_VALUE_LANES];
+        val.store_lanes(&mut buf[..V::LANES]);
+        let base = v as usize * V::LANES;
+        for (i, &b) in buf[..V::LANES].iter().enumerate() {
+            self.bits[base + i].store(b, Ordering::Relaxed);
+        }
     }
 }
 
@@ -280,6 +563,35 @@ mod tests {
         fn accumulate(&self, state: u32, msg: u32) -> Option<u32> {
             (msg < state).then_some(msg)
         }
+    }
+
+    /// A 4-lane value: four independent u64 slots merged by element-wise
+    /// max (the wide-value test stand-in for HLL registers).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    struct Wide4([u64; 4]);
+    impl VertexValue for Wide4 {
+        const LANES: usize = 4;
+        const WIRE_BYTES: u64 = 32;
+        fn to_bits(self) -> u64 {
+            unreachable!("wide values use the lane interface")
+        }
+        fn from_bits(_: u64) -> Self {
+            unreachable!("wide values use the lane interface")
+        }
+        fn store_lanes(self, out: &mut [u64]) {
+            out.copy_from_slice(&self.0);
+        }
+        fn load_lanes(lanes: &[u64]) -> Self {
+            let mut a = [0u64; 4];
+            a.copy_from_slice(lanes);
+            Wide4(a)
+        }
+    }
+
+    fn wide_max(a: Wide4, b: Wide4) -> Option<Wide4> {
+        let merged =
+            Wide4([a.0[0].max(b.0[0]), a.0[1].max(b.0[1]), a.0[2].max(b.0[2]), a.0[3].max(b.0[3])]);
+        (merged != a).then_some(merged)
     }
 
     #[test]
@@ -351,5 +663,75 @@ mod tests {
         let vals = Values::init(&MinProg, 3);
         vals.set(2, 42);
         assert_eq!(vals.snapshot(), vec![0, u32::MAX, 42]);
+    }
+
+    #[test]
+    fn reference_program_delegates() {
+        // &P is a program too, sharing the underlying hooks.
+        let p = &MinProg;
+        assert_eq!(p.init(0), 0);
+        assert_eq!(p.accumulate(9, 7), Some(7));
+        let vals = Values::init(&p, 2);
+        assert_eq!(vals.get(1), u32::MAX);
+    }
+
+    #[test]
+    fn wide_values_store_and_update_per_lane() {
+        let vals: Values<Wide4> = Values::init_with(3, |v| Wide4([v as u64; 4]));
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vals.get(2), Wide4([2, 2, 2, 2]));
+        // Element-wise max merge: only the raised lanes change.
+        let r = vals.update(1, |cur| wide_max(cur, Wide4([0, 9, 0, 5])));
+        assert_eq!(r, Some((Wide4([1, 1, 1, 1]), Wide4([1, 9, 1, 5]))));
+        // A dominated merge declines.
+        assert_eq!(vals.update(1, |cur| wide_max(cur, Wide4([1, 3, 1, 2]))), None);
+        assert_eq!(vals.snapshot()[1], Wide4([1, 9, 1, 5]));
+    }
+
+    #[test]
+    fn concurrent_wide_updates_converge_to_lane_maxima() {
+        // 8 threads race element-wise max merges; the striped-lock RMW
+        // must land on the per-lane maxima with no lost updates.
+        let vals = std::sync::Arc::new(Values::<Wide4>::init_with(2, |_| Wide4([0; 4])));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let vals = vals.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let m = Wide4([i + t, (i * 3 + t) % 997, t * 100 + i % 50, i]);
+                    vals.update(1, |cur| wide_max(cur, m));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = vals.get(1);
+        assert_eq!(got, Wide4([499 + 7, 996, 749, 499]));
+    }
+
+    #[test]
+    fn value_layouts_derive_widths() {
+        let narrow = ValueLayout::narrow();
+        assert_eq!((narrow.lanes, narrow.wire_bytes), (1, 8));
+        assert_eq!(narrow.record_bytes(), 12, "historical EXCHANGE_RECORD_BYTES");
+        assert_eq!(narrow.state_bytes(), 24, "historical VERTEX_STATE_BYTES");
+        assert_eq!(narrow.compaction_surplus(), 0);
+        // u64/f64/F32Pair are exactly the narrow layout.
+        assert_eq!(ValueLayout::of::<u64>(), narrow);
+        assert_eq!(ValueLayout::of::<f64>(), narrow);
+        assert_eq!(ValueLayout::of::<F32Pair>(), narrow);
+        // u32 stores a full lane but wires only 4 bytes.
+        let u32l = ValueLayout::of::<u32>();
+        assert_eq!((u32l.lanes, u32l.wire_bytes), (1, 4));
+        assert_eq!(u32l.record_bytes(), 8);
+        assert_eq!(u32l.state_bytes(), 24);
+        assert_eq!(u32l.compaction_surplus(), 0, "sub-8-byte values price as narrow");
+        // The wide test value: 4 lanes resident, 32 bytes on the wire.
+        let w = ValueLayout::of::<Wide4>();
+        assert_eq!(w.lane_bytes(), 32);
+        assert_eq!(w.record_bytes(), 36);
+        assert_eq!(w.state_bytes(), 48);
+        assert_eq!(w.compaction_surplus(), 24);
     }
 }

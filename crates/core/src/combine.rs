@@ -27,23 +27,43 @@ pub struct CombinedTask {
     pub members: Vec<usize>,
 }
 
-/// Combine per-partition engine decisions into scheduling units.
-///
-/// `decisions` is `(partition index, engine)` in ascending partition order
-/// (as produced by `select::select_engines`). When `combining` is false
-/// every partition becomes its own task (the Fig. 8 "Hybrid" baseline).
+/// Combine per-partition engine decisions into scheduling units with the
+/// narrow 8-byte-per-vertex value footprint (the exact historical
+/// packaging). Wide-value programs go through [`combine_tasks_sized`].
 pub fn combine_tasks(
     decisions: &[(usize, EngineKind)],
     k: usize,
     combining: bool,
 ) -> Vec<CombinedTask> {
+    combine_tasks_sized(decisions, k, combining, 8)
+}
+
+/// Combine per-partition engine decisions into scheduling units.
+///
+/// `decisions` is `(partition index, engine)` in ascending partition order
+/// (as produced by `select::select_engines`). When `combining` is false
+/// every partition becomes its own task (the Fig. 8 "Hybrid" baseline).
+///
+/// `lane_bytes` is the program's resident per-vertex value footprint
+/// ([`ValueLayout::lane_bytes`](crate::ValueLayout::lane_bytes)). The
+/// paper's `k = 4` was tuned for ~8-byte states: a combined filter task
+/// stages the member partitions' vertex state together, so wider values
+/// shrink how many partitions fit one staging window. The effective run
+/// length is `max(1, k · 8 / lane_bytes)` — the identity at 8 bytes,
+/// and single-partition runs for ≥ 32-byte sketch states.
+pub fn combine_tasks_sized(
+    decisions: &[(usize, EngineKind)],
+    k: usize,
+    combining: bool,
+    lane_bytes: u64,
+) -> Vec<CombinedTask> {
+    let k = ((k as u64 * 8) / lane_bytes.max(1)).max(1) as usize;
     if !combining {
         return decisions
             .iter()
             .map(|&(i, kind)| CombinedTask { kind, members: vec![i] })
             .collect();
     }
-    let k = k.max(1);
     let mut filter_tasks: Vec<CombinedTask> = Vec::new();
     let mut compaction_members: Vec<usize> = Vec::new();
     let mut zc_members: Vec<usize> = Vec::new();
@@ -161,6 +181,22 @@ mod tests {
     #[test]
     fn empty_decisions_empty_tasks() {
         assert!(combine_tasks(&[], 4, true).is_empty());
+    }
+
+    #[test]
+    fn wide_lanes_shrink_filter_runs() {
+        let d: Vec<_> = (0..10).map(|i| (i, ExpFilter)).collect();
+        // 8-byte lanes: bitwise the narrow combiner.
+        assert_eq!(combine_tasks_sized(&d, 4, true, 8), combine_tasks(&d, 4, true));
+        // 16-byte states halve the effective run length (k = 2).
+        let sizes: Vec<_> =
+            combine_tasks_sized(&d, 4, true, 16).iter().map(|t| t.members.len()).collect();
+        assert_eq!(sizes, vec![2, 2, 2, 2, 2]);
+        // 64-byte sketch states (8 lanes): every filter task is a
+        // singleton — combining is effectively off for filter runs.
+        let sizes: Vec<_> =
+            combine_tasks_sized(&d, 4, true, 64).iter().map(|t| t.members.len()).collect();
+        assert_eq!(sizes, vec![1; 10]);
     }
 
     #[test]

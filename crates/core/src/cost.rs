@@ -73,15 +73,38 @@ impl PartitionCosts {
     }
 }
 
+/// Compute formulas (1)–(3) for one partition's activity snapshot with
+/// the narrow (≤ 8-byte-value) per-vertex payload — the exact historical
+/// pricing. See [`partition_costs_sized`] for wide-value programs.
+pub fn partition_costs(
+    act: &PartitionActivity,
+    pcie: &PcieModel,
+    bytes_per_edge: u64,
+) -> PartitionCosts {
+    partition_costs_sized(act, pcie, bytes_per_edge, 0)
+}
+
 /// Compute formulas (1)–(3) for one partition's activity snapshot.
 ///
 /// `bytes_per_edge` is `d1` (+ weight bytes on weighted graphs — the
 /// weight array rides along with the neighbour array on every engine, so
 /// it scales all three formulas identically).
-pub fn partition_costs(
+///
+/// `value_surplus` is the program's
+/// [`ValueLayout::compaction_surplus`](crate::ValueLayout::compaction_surplus):
+/// extra per-active-vertex bytes the compaction gather moves beyond the
+/// `d2` slot already charged. It lands in formula (2) only — filter
+/// moves whole partitions of *edge* data and zero-copy reads neighbour
+/// arrays in place, so neither ships vertex values; compaction's gather
+/// packages `|Ai|` value payloads alongside the index. Zero for every
+/// narrow program (exact identity with [`partition_costs`]); for
+/// sketch-width values it is what can flip a compaction win to
+/// zero-copy.
+pub fn partition_costs_sized(
     act: &PartitionActivity,
     pcie: &PcieModel,
     bytes_per_edge: u64,
+    value_surplus: u64,
 ) -> PartitionCosts {
     let m = pcie.request_bytes;
     let mr = pcie.max_requests;
@@ -98,9 +121,10 @@ pub fn partition_costs(
     let ef_bytes = act.total_edges * bytes_per_edge;
     let tef = ef_bytes as f64 / tlp;
 
-    // (2) transfer term of compaction: active edges + index entries.
-    let ec_bytes =
-        act.active_edges * bytes_per_edge + act.active_vertices.len() as u64 * INDEX_BYTES;
+    // (2) transfer term of compaction: active edges + index entries +
+    // any per-vertex value payload beyond the narrow d2 slot.
+    let ec_bytes = act.active_edges * bytes_per_edge
+        + act.active_vertices.len() as u64 * (INDEX_BYTES + value_surplus);
     let tec = ec_bytes as f64 / tlp;
 
     // (3) zero-copy requests at partition-dependent RTT_zc.
@@ -239,6 +263,20 @@ mod tests {
         assert_eq!(c.under_contention(0.0, ZC_CONTENTION_SHARE), c1);
         // The default share is the paper bus's payload-proportional part.
         assert_eq!(ZC_CONTENTION_SHARE, 1.0 - bus().gamma);
+    }
+
+    #[test]
+    fn value_surplus_prices_compaction_only() {
+        let a = act(100, 10_000, 100_000, 400);
+        let narrow = partition_costs(&a, &bus(), 4);
+        // Zero surplus is bitwise the historical pricing.
+        assert_eq!(partition_costs_sized(&a, &bus(), 4, 0), narrow);
+        // A 64-byte-wire value (56 surplus) charges formula (2) exactly
+        // |Ai|·56 more bytes and leaves (1) and (3) untouched.
+        let wide = partition_costs_sized(&a, &bus(), 4, 56);
+        assert_eq!(wide.tef, narrow.tef);
+        assert_eq!(wide.tiz, narrow.tiz);
+        assert!((wide.tec - (40_800.0 + 100.0 * 56.0) / 32_768.0).abs() < 1e-12);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! This crate is the paper's primary contribution, assembled from:
 //!
 //! * [`api`] — the push-based vertex-centric programming model and the
-//!   lock-free 64-bit value store;
+//!   width-aware value store (lock-free 64-bit atoms, striped wide
+//!   register arrays);
 //! * [`cost`] — the transfer-cost formulas (1)–(3) of Section V-A;
 //! * [`select`] — Algorithm 1's engine-selection rule (α = 0.8, β = 0.4)
 //!   plus the constant policies of the baseline systems;
@@ -51,10 +52,11 @@ pub mod stats;
 pub mod systems;
 
 pub use api::{
-    EdgeCtx, F32Pair, InitialFrontier, PriorityMode, Values, VertexProgram, VertexValue,
+    EdgeCtx, F32Pair, InitialFrontier, PriorityMode, ValueLayout, Values, VertexProgram,
+    VertexValue, MAX_VALUE_LANES,
 };
 pub use config::{AsyncMode, HyTGraphConfig};
-pub use cost::{partition_costs, PartitionCosts};
+pub use cost::{partition_costs, partition_costs_sized, PartitionCosts};
 pub use hyt_engines::EngineKind;
 pub use hyt_sim::{Duplex, Interconnect, LinkSpec, Route, TopologyKind, ROUTE_BREAKPOINT_LADDER};
 pub use runner::HyTGraphSystem;

@@ -17,6 +17,13 @@
 //! The paper schedules ExpTM-filter tasks first (they carry the hub
 //! partitions and enjoy full-bandwidth copies), then compaction and
 //! zero-copy tasks.
+//!
+//! Neither signal assumes a monotone fold: priority is a pure ordering
+//! heuristic over *which active work runs first* and never suppresses a
+//! task, so any commutative change-detecting program (including wide
+//! sketch merges whose `delta_of` is 0) converges to the same fixpoint
+//! in any order — only the trajectory, and therefore the simulated
+//! time, shifts.
 
 use crate::api::{PriorityMode, Values, VertexProgram};
 use crate::combine::CombinedTask;

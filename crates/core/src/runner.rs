@@ -43,8 +43,8 @@
 //! deliberately changes engine choices with `D`. The differential suite
 //! in `tests/multi_gpu.rs` holds the runner to those claims.
 
-use crate::api::{InitialFrontier, Values, VertexProgram};
-use crate::combine::{combine_tasks, CombinedTask};
+use crate::api::{InitialFrontier, ValueLayout, Values, VertexProgram};
+use crate::combine::{combine_tasks_sized, CombinedTask};
 use crate::config::{AsyncMode, HyTGraphConfig};
 use crate::kernel::{run_kernel, EdgeSource};
 use crate::priority::order_tasks;
@@ -70,13 +70,17 @@ pub const CPU_EDGE_THROUGHPUT: f64 = 1.5e9;
 pub const CPU_ITERATION_OVERHEAD: f64 = 100.0e-6;
 
 /// GPU-resident vertex-associated bytes per vertex (value array, neighbour
-/// index / row offsets, activity bitmaps): carved out of device memory
-/// before edge data can be cached (Section II-A's data placement).
-pub const VERTEX_STATE_BYTES: u64 = 24;
+/// index / row offsets, activity bitmaps) for the narrow single-lane
+/// layout: carved out of device memory before edge data can be cached
+/// (Section II-A's data placement). The live figure is the program's
+/// [`ValueLayout::state_bytes`] — this constant documents the historical
+/// 64-bit-atom value.
+pub const VERTEX_STATE_BYTES: u64 = ValueLayout::narrow().state_bytes();
 
-/// Bytes per record of the inter-device frontier exchange: a 32-bit vertex
-/// id plus the 64-bit value slot it carries.
-pub const EXCHANGE_RECORD_BYTES: u64 = 12;
+/// Bytes per record of the inter-device frontier exchange for the narrow
+/// layout: a 32-bit vertex id plus the 64-bit value slot it carries. The
+/// live figure is the program's [`ValueLayout::record_bytes`].
+pub const EXCHANGE_RECORD_BYTES: u64 = ValueLayout::narrow().record_bytes();
 
 /// A configured system bound to one graph: construct once, run many
 /// algorithms (hub sorting is a one-off preprocessing step, Section VI-A).
@@ -214,10 +218,15 @@ impl HyTGraphSystem {
         // Weight-blind programs only move the neighbour array (d1 = 4);
         // weight-reading programs move neighbours + weights.
         let bpe = self.effective_bytes_per_edge::<P>();
+        // Every width-sensitive layer derives its per-vertex footprint
+        // from the program's declared value layout (lanes resident, wire
+        // bytes exchanged); narrow programs get the historical constants.
+        let layout = ValueLayout::of::<P::Value>();
         // Device memory left for edge data once vertex state is resident,
         // derated by the UM driver-headroom utilisation.
         let edge_budget =
-            (self.config.machine.edge_budget.saturating_sub(nv as u64 * VERTEX_STATE_BYTES) as f64
+            (self.config.machine.edge_budget.saturating_sub(nv as u64 * layout.state_bytes())
+                as f64
                 * self.config.machine.um_utilization) as u64;
         // One residency state per device: each simulated GPU caches edge
         // data out of its own memory carve (edge_budget / D).
@@ -259,6 +268,7 @@ impl HyTGraphSystem {
                     &mut frontier,
                     iter,
                     bpe,
+                    layout,
                     &mut um_states,
                     &mut grus_states,
                     &mut exchange_owned,
@@ -268,15 +278,32 @@ impl HyTGraphSystem {
             total_time += stats.time;
             total_counters.merge(&stats.counters);
             per_iteration.push(stats);
+            if P::OBSERVES_ITERATIONS {
+                // Trajectory observers see every executed iteration's
+                // converged state in original-id order (including the
+                // final iteration, which activates nobody).
+                let snap = values.snapshot();
+                match self.hub.as_ref() {
+                    Some(h) => program.observe_iteration(iter, &h.values_to_old_order(&snap)),
+                    None => program.observe_iteration(iter, &snap),
+                }
+            }
             iter += 1;
         }
 
         let snapshot = values.snapshot();
-        let values = match hub {
+        let values = match self.hub.as_ref() {
             Some(h) => h.values_to_old_order(&snapshot),
             None => snapshot,
         };
-        RunResult { values, iterations: iter, total_time, per_iteration, counters: total_counters }
+        RunResult {
+            values,
+            iterations: iter,
+            total_time,
+            per_iteration,
+            counters: total_counters,
+            value_layout: layout,
+        }
     }
 
     /// Edge-data bytes per edge the program actually transfers.
@@ -308,6 +335,7 @@ impl HyTGraphSystem {
         frontier: &mut Frontier,
         iteration: u32,
         bpe: u64,
+        layout: ValueLayout,
         um_states: &mut [UnifiedState],
         grus_states: &mut [GrusState],
         exchange_owned: &mut [u64],
@@ -333,12 +361,16 @@ impl HyTGraphSystem {
         // device owned it exclusively; with the flag on, the selector
         // sees the cost shift caused by the shard-holders sharing the
         // host link.
-        let select_params = if cfg.contention_aware_selection {
+        let mut select_params = if cfg.contention_aware_selection {
             let holders = self.shard_holders.iter().filter(|&&h| h).count();
             cfg.select_params.with_contention(holders as f64, machine.pcie.gamma)
         } else {
             cfg.select_params
         };
+        // Wide values make compaction's gather ship real value payload
+        // per active vertex; the selector must price that freight
+        // (exact no-op for ≤ 8-byte values).
+        select_params.value_surplus = layout.compaction_surplus();
         let decisions = match cfg.selection {
             Selection::GrusLike => grus_select(&acts, &self.parts, devices, grus_states, bpe),
             sel => select_engines_sharded(&acts, devices, &machine.pcie, bpe, sel, &select_params),
@@ -349,7 +381,8 @@ impl HyTGraphSystem {
             mix.add(kind, 1);
             dev_mix[devices.device_of(acts[i].partition) as usize].add(kind, 1);
         }
-        let mut tasks = combine_tasks(&decisions, cfg.combine_k, cfg.task_combining);
+        let mut tasks =
+            combine_tasks_sized(&decisions, cfg.combine_k, cfg.task_combining, layout.lane_bytes());
         order_tasks(&mut tasks, &acts, program, values, cfg.contribution_scheduling);
 
         // --- Stage 2: execution + pricing. ---
@@ -380,9 +413,12 @@ impl HyTGraphSystem {
                         EngineKind::ExpFilter => {
                             filter::plan_filter(machine, &self.graph, srefs, bpe)
                         }
-                        EngineKind::ExpCompaction => {
-                            compaction::price_compaction(machine, srefs, bpe)
-                        }
+                        EngineKind::ExpCompaction => compaction::price_compaction_sized(
+                            machine,
+                            srefs,
+                            bpe,
+                            layout.compaction_surplus(),
+                        ),
                         EngineKind::ImpZeroCopy => {
                             let mut p = zero_copy::plan_zero_copy(machine, srefs);
                             if cfg.selection == Selection::GrusLike {
@@ -465,7 +501,7 @@ impl HyTGraphSystem {
         // restricted to that device — per-device priority ordering for
         // free. Play them against the interconnect's contention queues.
         let timeline = sim.schedule(&dev_tasks);
-        let exchange_report = self.price_exchange(&next, exchange_owned);
+        let exchange_report = self.price_exchange(&next, exchange_owned, layout.record_bytes());
         counters.exchange_bytes += exchange_report.payload_bytes;
         // With overlap on, the exchange hides under the next iteration's
         // cost analysis (the fixed orchestration overhead below): only
@@ -543,15 +579,24 @@ impl HyTGraphSystem {
     /// subscribes (otherwise idle devices would inflate the exchange
     /// linearly when D exceeds the partition count). `owned` is
     /// caller-provided scratch (one slot per device), reused across
-    /// iterations.
-    fn price_exchange(&self, next: &Frontier, owned: &mut [u64]) -> ExchangeReport {
+    /// iterations. `record_bytes` is the program's
+    /// [`ValueLayout::record_bytes`] — id plus declared wire payload —
+    /// so 4-byte values price smaller batches than 8-byte ones and
+    /// 64-byte sketches price larger ones (which can move a batch onto
+    /// a different route rung of the breakpoint ladder).
+    fn price_exchange(
+        &self,
+        next: &Frontier,
+        owned: &mut [u64],
+        record_bytes: u64,
+    ) -> ExchangeReport {
         let nd = self.devices.num_devices() as usize;
         if nd <= 1 {
             return ExchangeReport::default();
         }
         owned.fill(0);
         for v in next.iter() {
-            owned[self.devices.device_of(self.parts.owner_of(v)) as usize] += EXCHANGE_RECORD_BYTES;
+            owned[self.devices.device_of(self.parts.owner_of(v)) as usize] += record_bytes;
         }
         if self.config.load_aware_exchange {
             self.interconnect.price_all_gather_load_aware(owned, &self.shard_holders)

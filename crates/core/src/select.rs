@@ -13,7 +13,7 @@
 //! Grus-like policy layers a residency check on top (resident → UM "hit",
 //! capacity left → UM migrate, otherwise zero-copy).
 
-use crate::cost::{partition_costs, PartitionCosts};
+use crate::cost::{partition_costs_sized, PartitionCosts};
 use hyt_engines::{EngineKind, PartitionActivity};
 use hyt_graph::DevicePlan;
 use hyt_sim::PcieModel;
@@ -59,6 +59,13 @@ pub struct SelectParams {
     /// derives the live value from its `PcieModel::gamma` so a custom
     /// bus stays consistent with its own `rtt_zc` pricing.
     pub zc_contention_share: f64,
+    /// Per-active-vertex value bytes a compaction gather moves beyond
+    /// the narrow `d2` slot — the program's
+    /// [`ValueLayout::compaction_surplus`](crate::ValueLayout::compaction_surplus).
+    /// Zero (the default, and for every ≤ 8-byte value) is an exact
+    /// pricing identity; the runner sets it from the live program so
+    /// wide sketch values pay their true formula-(2) freight.
+    pub value_surplus: u64,
 }
 
 impl Default for SelectParams {
@@ -68,6 +75,7 @@ impl Default for SelectParams {
             beta: 0.4,
             contention: 1.0,
             zc_contention_share: crate::cost::ZC_CONTENTION_SHARE,
+            value_surplus: 0,
         }
     }
 }
@@ -128,7 +136,10 @@ fn stateless_kind(
     params: &SelectParams,
 ) -> EngineKind {
     match selection {
-        Selection::Hybrid => choose_engine(&partition_costs(a, pcie, bytes_per_edge), params),
+        Selection::Hybrid => choose_engine(
+            &partition_costs_sized(a, pcie, bytes_per_edge, params.value_surplus),
+            params,
+        ),
         Selection::FilterOnly => EngineKind::ExpFilter,
         Selection::CompactionOnly => EngineKind::ExpCompaction,
         Selection::ZeroCopyOnly => EngineKind::ImpZeroCopy,
@@ -320,6 +331,31 @@ mod tests {
         assert_eq!(clamped.len(), 1);
         assert_eq!(clamped.get(0), 5);
         assert!(!clamped.is_empty());
+    }
+
+    #[test]
+    fn wide_value_surplus_flips_compaction_to_zero_copy() {
+        // 2000 active vertices of degree 2 inside a 200k-edge partition:
+        // with narrow values compaction wins comfortably
+        // (Tec = 32000 B / 32768 ≈ 0.98 < β·Tiz ≈ 2.08 < α·Tef ≈ 19.5).
+        // A 64-byte sketch wire payload adds 56 surplus bytes per active
+        // vertex, inflating only formula (2) to ≈ 4.4 > β·Tiz, so the
+        // same partition falls through to zero-copy.
+        let a = PartitionActivity {
+            partition: 0,
+            active_vertices: (0..2_000).collect(),
+            active_edges: 4_000,
+            total_edges: 200_000,
+            zc_requests: 2_000,
+        };
+        let pcie = PcieModel::pcie3();
+        let acts = std::slice::from_ref(&a);
+        let narrow = SelectParams::default();
+        let sel = select_engines(acts, &pcie, 4, Selection::Hybrid, &narrow);
+        assert_eq!(sel[0].1, EngineKind::ExpCompaction);
+        let wide = SelectParams { value_surplus: 56, ..SelectParams::default() };
+        let sel = select_engines(acts, &pcie, 4, Selection::Hybrid, &wide);
+        assert_eq!(sel[0].1, EngineKind::ImpZeroCopy);
     }
 
     #[test]

@@ -212,6 +212,9 @@ pub struct RunResult<V> {
     pub per_iteration: Vec<IterationStats>,
     /// Run-total transfer counters.
     pub counters: TransferCounters,
+    /// The per-vertex value footprint the run was priced with (lanes
+    /// resident, wire bytes exchanged).
+    pub value_layout: crate::api::ValueLayout,
 }
 
 impl<V> RunResult<V> {

@@ -194,6 +194,21 @@ pub fn price_compaction(
     acts: &[&PartitionActivity],
     bytes_per_edge: u64,
 ) -> TaskPlan {
+    price_compaction_sized(machine, acts, bytes_per_edge, 0)
+}
+
+/// [`price_compaction`] for programs whose per-vertex value is wider
+/// than the narrow 8-byte slot: the gather additionally stages
+/// `value_surplus` bytes of value payload per active vertex (the
+/// program's `ValueLayout::compaction_surplus`), matching what cost
+/// formula (2) charged when this engine was selected. Zero is an exact
+/// identity with [`price_compaction`].
+pub fn price_compaction_sized(
+    machine: &MachineModel,
+    acts: &[&PartitionActivity],
+    bytes_per_edge: u64,
+    value_surplus: u64,
+) -> TaskPlan {
     let mut active = Vec::new();
     let mut partitions = Vec::with_capacity(acts.len());
     let mut active_edges = 0u64;
@@ -202,7 +217,7 @@ pub fn price_compaction(
         active.extend_from_slice(&a.active_vertices);
         active_edges += a.active_edges;
     }
-    let bytes = active_edges * bytes_per_edge + active.len() as u64 * INDEX_BYTES;
+    let bytes = active_edges * bytes_per_edge + active.len() as u64 * (INDEX_BYTES + value_surplus);
     let cpu_time = machine.compaction_time(bytes);
     let transfer_time = machine.pcie.explicit_copy_time(bytes);
     let kernel_time = machine.kernel.kernel_time(active_edges);
@@ -301,6 +316,39 @@ mod tests {
         assert_eq!(priced.active_vertices, full.active_vertices);
         assert_eq!(priced.partitions, full.partitions);
         assert!(priced.compacted.is_none());
+    }
+
+    #[test]
+    fn value_surplus_adds_per_active_vertex_bytes() {
+        let g = generators::rmat(9, 8.0, 11, true);
+        let ps = PartitionSet::build_count(&g, 8);
+        let f = Frontier::new(g.num_vertices());
+        for v in (0..g.num_vertices()).step_by(7) {
+            f.insert(v);
+        }
+        let machine = MachineModel::paper_platform();
+        let acts = crate::activity::analyze_partitions(
+            &g,
+            &ps,
+            &f,
+            &PcieModel::pcie3(),
+            g.bytes_per_edge(),
+            4,
+        );
+        let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
+        let narrow = price_compaction(&machine, &refs, g.bytes_per_edge());
+        // Zero surplus is bitwise the narrow pricing.
+        let zero = price_compaction_sized(&machine, &refs, g.bytes_per_edge(), 0);
+        assert_eq!(zero.counters, narrow.counters);
+        // A 64-byte-wire sketch stages 56 extra bytes per active vertex.
+        let wide = price_compaction_sized(&machine, &refs, g.bytes_per_edge(), 56);
+        let extra = narrow.active_vertices.len() as u64 * 56;
+        assert_eq!(wide.counters.explicit_bytes, narrow.counters.explicit_bytes + extra);
+        assert_eq!(wide.counters.compaction_bytes, narrow.counters.compaction_bytes + extra);
+        // Transfer time can only grow (it may tie when the extra bytes
+        // stay within the same TLP quantum); the kernel is untouched.
+        assert!(wide.transfer_time >= narrow.transfer_time);
+        assert_eq!(wide.kernel_time, narrow.kernel_time);
     }
 
     #[test]

@@ -35,8 +35,8 @@
 //! * [`core`] — cost model, engine selection, task combining, asynchronous
 //!   contribution-driven scheduling, and whole-system configurations
 //!   ([`hyt_core`]).
-//! * [`algos`] — SSSP, BFS, CC, PageRank, PHP vertex programs plus
-//!   sequential oracles ([`hyt_algos`]).
+//! * [`algos`] — SSSP, BFS, CC, PageRank, PHP and HyperBall vertex
+//!   programs plus sequential oracles ([`hyt_algos`]).
 //!
 //! ## Quickstart
 //!
@@ -61,7 +61,7 @@ pub use hyt_sim as sim;
 
 /// Convenience re-exports covering the common public API surface.
 pub mod prelude {
-    pub use hyt_algos::{Bfs, Cc, PageRank, Php, Sssp};
+    pub use hyt_algos::{run_hyperball, Bfs, Cc, HyperBall, PageRank, Php, Sssp};
     pub use hyt_core::{
         AsyncMode, EngineKind, HyTGraphConfig, HyTGraphSystem, RunResult, SystemKind,
     };

@@ -161,7 +161,14 @@ fn every_algorithm_runs_on_every_dataset_proxy() {
     // Smoke coverage of the full experiment grid on the smallest proxy.
     let ds = datasets::load(DatasetId::Sk);
     let src = (0..ds.graph.num_vertices()).max_by_key(|&v| ds.graph.out_degree(v)).unwrap();
-    for algo in [AlgoKind::PageRank, AlgoKind::Sssp, AlgoKind::Cc, AlgoKind::Bfs, AlgoKind::Php] {
+    for algo in [
+        AlgoKind::PageRank,
+        AlgoKind::Sssp,
+        AlgoKind::Cc,
+        AlgoKind::Bfs,
+        AlgoKind::Php,
+        AlgoKind::HyperBall,
+    ] {
         let mut sys = HyTGraphSystem::new(ds.graph.clone(), HyTGraphConfig::default());
         let (iters, time) = match algo {
             AlgoKind::PageRank => {
@@ -183,6 +190,13 @@ fn every_algorithm_runs_on_every_dataset_proxy() {
             AlgoKind::Php => {
                 let r = sys.run(Php::from_source(src));
                 (r.iterations, r.total_time)
+            }
+            AlgoKind::HyperBall => {
+                let r = hytgraph::algos::hyperball::run_hyperball(
+                    ds.graph.clone(),
+                    HyTGraphConfig::default(),
+                );
+                (r.run.iterations, r.run.total_time)
             }
         };
         assert!(iters > 0 && time > 0.0, "{:?} did no work", algo);
