@@ -15,11 +15,17 @@
 //! | [`PageRank`] | `(rank, Δ)` f32×2 | Δ-add | all | Δ |
 //! | [`Php`] | `(score, Δ)` f32×2 | Δ-add | source | Δ |
 //! | [`HyperBall`] | 64 HLL registers (8 lanes) | register max | all | hub |
+//! | [`MultiBfs`]`/`[`MultiSssp`] | `B` distances, 2 per lane | per-lane min | the `B` sources | hub |
 //!
 //! HyperBall is the first member of the sketch-analytics family enabled
 //! by the width-aware value layer: its per-vertex state is a 64-byte
 //! register array rather than a 64-bit atom, and its fold is an
 //! idempotent merge rather than a semiring min/add.
+//!
+//! [`multi_source`] batches `B` concurrent traversals into one MS-BFS
+//! style run on the same value layer — each lane converges to its serial
+//! run's values bit-for-bit — and [`session`] plugs those batches into
+//! `hyt_core`'s resident query service as its algorithm backend.
 //!
 //! [`reference`] holds simple, obviously-correct sequential oracles; every
 //! program's converged output is tested against its oracle.
@@ -27,16 +33,20 @@
 pub mod bfs;
 pub mod cc;
 pub mod hyperball;
+pub mod multi_source;
 pub mod pagerank;
 pub mod php;
 pub mod reference;
+pub mod session;
 pub mod sssp;
 
 pub use bfs::Bfs;
 pub use cc::Cc;
 pub use hyperball::{run_hyperball, HllSketch, HyperBall, HyperBallResult, HLL_RSE};
+pub use multi_source::{lane_values, MultiBfs, MultiDist, MultiSssp};
 pub use pagerank::PageRank;
 pub use php::Php;
+pub use session::AlgoBackend;
 pub use sssp::Sssp;
 
 /// Distance value for unreachable vertices (SSSP, BFS).

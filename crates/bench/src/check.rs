@@ -601,6 +601,153 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         ));
     }
 
+    // ISSUE 7: coalescing — batching 8 hub-anchored traversals into one
+    // multi-source run answers every lane bit-identically to the serial
+    // run it replaces AND strictly cuts the total exchanged payload
+    // bytes on a skewed graph sharded over an 8-device ring. The saving
+    // comes from temporal overlap: one `4 + 4·8`-byte record wherever
+    // several serial runs would each ship `4 + 4` for the same vertex in
+    // the same iteration, and hub frontiers overlap almost fully.
+    {
+        use hyt_algos::{lane_values, Bfs, MultiBfs};
+        let g = hyt_graph::generators::power_law_preferential(1 << 12, 12.0, 2.2, 7, false);
+        let mut by_degree: Vec<(u64, u32)> =
+            (0..g.num_vertices()).map(|v| (g.out_degree(v), v)).collect();
+        by_degree.sort_unstable_by(|a, b| b.cmp(a));
+        let mut srcs = [0u32; 8];
+        for (slot, &(_, v)) in srcs.iter_mut().zip(by_degree.iter()) {
+            *slot = v;
+        }
+        let cfg = || {
+            let mut c = SystemKind::HyTGraph.configure(base_config());
+            c.num_devices = 8;
+            c.topology = hyt_core::TopologyKind::Ring;
+            c.threads = 1;
+            c
+        };
+        let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg());
+        let r = sys.run(MultiBfs::from_sources(srcs));
+        let batched_bytes = r.counters.exchange_bytes;
+        let mut serial_bytes = 0u64;
+        let mut identical = true;
+        for (k, &s) in srcs.iter().enumerate() {
+            let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg());
+            let sr = sys.run(Bfs::from_source(s));
+            identical &= lane_values(&r.values, k) == sr.values;
+            serial_bytes += sr.counters.exchange_bytes;
+        }
+        out.push(CheckResult::new(
+            "Coalescing: 8 batched hub traversals lane-identical to serial, fewer exchange bytes",
+            identical && batched_bytes > 0 && batched_bytes < serial_bytes,
+            format!(
+                "batched {batched_bytes} B vs serial total {serial_bytes} B \
+                 ({:.2}x); all 8 lanes match their serial run: {identical}",
+                batched_bytes as f64 / serial_bytes as f64
+            ),
+        ));
+    }
+
+    // ISSUE 7 (the bugfix): the exchange-overlap window is the successor
+    // iteration's *measured* analysis span — `hidden_i =
+    // min(makespan_i, span_{i+1})`, the final iteration hides nothing,
+    // and the legacy fixed five-copy constant demonstrably over-hides
+    // while leaving values untouched.
+    {
+        use hyt_core::runner::{analysis_span, ITERATION_OVERHEAD_COPIES};
+        use hyt_core::OverlapWindow;
+        let g = hyt_graph::generators::rmat(11, 10.0, 9, true);
+        let run = |window: OverlapWindow| {
+            let mut cfg = SystemKind::HyTGraph.configure(base_config());
+            cfg.num_devices = 4;
+            cfg.threads = 1;
+            cfg.overlap_exchange = true;
+            cfg.overlap_window = window;
+            let lat = cfg.machine.pcie.copy_latency;
+            let mut sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg);
+            (sys.run(hyt_algos::Sssp::from_source(0)), lat)
+        };
+        let (m, lat) = run(OverlapWindow::Measured);
+        let (l, _) = run(OverlapWindow::FixedConstant);
+        let n = m.per_iteration.len();
+        let eps = 1e-12;
+        let mut windowed = n >= 3;
+        for i in 0..n - 1 {
+            let cur = &m.per_iteration[i];
+            let next = &m.per_iteration[i + 1];
+            let span = analysis_span(lat, next.active_partitions, next.total_partitions);
+            windowed &= (cur.exchange.hidden - cur.exchange.time.min(span)).abs() < eps;
+        }
+        let final_zero = m.per_iteration[n - 1].exchange.hidden == 0.0;
+        let total_hidden = |r: &hyt_core::RunResult<u32>| {
+            r.per_iteration.iter().map(|it| it.exchange.hidden).sum()
+        };
+        let (hm, hl): (f64, f64) = (total_hidden(&m), total_hidden(&l));
+        out.push(CheckResult::new(
+            "Overlap window: hidden = min(makespan, next analysis span), 0 on the final iteration",
+            windowed && final_zero && hl > hm + eps && m.values == l.values,
+            format!(
+                "measured window hides {:.3}us vs legacy constant {:.3}us over {n} iterations \
+                 (fixed window {:.3}us); final iteration hides 0: {final_zero}; values identical: {}",
+                hm * 1e6,
+                hl * 1e6,
+                ITERATION_OVERHEAD_COPIES * lat * 1e6,
+                m.values == l.values
+            ),
+        ));
+    }
+
+    // ISSUE 7: the resident session service — cost-model-priced admission
+    // (shipping weights prices strictly dearer), one coalesced cohort for
+    // compatible traversals, and per-request demux that matches fresh
+    // serial systems bit-for-bit at an amortised per-request exchange
+    // share.
+    {
+        use hyt_algos::{AlgoBackend, Bfs};
+        use hyt_core::session::{Admission, QueryKind, QueryOutput, SessionConfig};
+        use hyt_core::SessionService;
+        let g = hyt_graph::generators::rmat(9, 8.0, 21, true);
+        let cfg = || {
+            let mut c = SystemKind::HyTGraph.configure(base_config());
+            c.num_devices = 4;
+            c.topology = hyt_core::TopologyKind::Ring;
+            c.threads = 1;
+            c
+        };
+        let scfg = SessionConfig { max_batch: 4, admission_budget: f64::INFINITY, max_queue: 16 };
+        let sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg());
+        let mut svc = SessionService::new(sys, AlgoBackend, scfg);
+        let bfs_q = svc.quote(QueryKind::Bfs(0)).sweep_rtt;
+        let sssp_q = svc.quote(QueryKind::Sssp(0)).sweep_rtt;
+        let sources = [3u32, 17, 44, 120];
+        let admitted = sources
+            .iter()
+            .all(|&v| matches!(svc.submit(QueryKind::Bfs(v)), Admission::Admitted { .. }));
+        let done = svc.drain();
+        let mut identical = admitted && done.len() == 4;
+        let mut coalesced = identical;
+        for (q, &v) in done.iter().zip(sources.iter()) {
+            let mut fresh = hyt_core::HyTGraphSystem::new(g.clone(), cfg());
+            identical &= q.output == QueryOutput::Distances(fresh.run(Bfs::from_source(v)).values);
+            coalesced &= q.stats.batch_width == 4;
+        }
+        let share = done.first().map_or(f64::MAX, |q| q.stats.exchange_share_bytes);
+        let solo = {
+            let sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg());
+            let mut solo_svc = SessionService::new(sys, AlgoBackend, scfg);
+            solo_svc.submit(QueryKind::Bfs(sources[0]));
+            solo_svc.drain()[0].stats.exchange_share_bytes
+        };
+        out.push(CheckResult::new(
+            "Session service: priced admission, one width-4 cohort, per-request demux exact",
+            bfs_q > 0.0 && sssp_q > bfs_q && identical && coalesced && share < solo,
+            format!(
+                "quotes: BFS {bfs_q:.1} vs SSSP {sssp_q:.1} RTTs; 4 queries rode one width-4 \
+                 cohort: {coalesced}; answers match fresh serial systems: {identical}; \
+                 per-request exchange share {share:.0} B vs {solo:.0} B running alone"
+            ),
+        ));
+    }
+
     out
 }
 

@@ -12,6 +12,7 @@ pub mod hyperball;
 pub mod multigpu;
 pub mod nvlink;
 pub mod perf;
+pub mod session;
 pub mod table1;
 pub mod table2;
 pub mod table5;
@@ -123,6 +124,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "hyperball",
             about: "extension: HyperBall sketch accuracy vs exact oracle + wide-record sharding",
             run: hyperball::run,
+        },
+        Experiment {
+            name: "session",
+            about: "extension: resident session service — quotes, coalesced cohorts, mixed stream",
+            run: session::run,
         },
         Experiment {
             name: "perf",

@@ -8,10 +8,15 @@
 //! * the four Table V algorithms (PR, SSSP, CC, BFS) plus HyperBall, the
 //!   first wide-value program;
 //! * `D ∈ {1, 4, 8}` devices on the HyTGraph preset, single-threaded host
-//!   kernels so every figure is bit-reproducible run to run.
+//!   kernels so every figure is bit-reproducible run to run;
+//! * since v2: the session layer's batched-vs-serial throughput table —
+//!   width `B` coalesced hub traversals on a skewed 8-device ring
+//!   against the `B` serial runs they replace (see
+//!   [`super::session::batched_sweep`]).
 //!
-//! Set `REPRO_SMOKE=1` for a reduced sweep (one dataset, `D ∈ {1, 4}`)
-//! in CI; the committed baseline comes from the full sweep.
+//! Set `REPRO_SMOKE=1` for a reduced sweep (one dataset, `D ∈ {1, 4}`,
+//! batch widths `{1, 4}`) in CI; the committed baseline comes from the
+//! full sweep.
 
 use crate::context::{base_config, run_algo_with_config, Ctx};
 use crate::table::{secs, Table};
@@ -21,7 +26,7 @@ use hyt_graph::DatasetId;
 use serde::Serialize;
 
 /// Schema tag for the emitted JSON, bumped on layout changes.
-pub const PERF_SCHEMA: &str = "hytgraph-perf-v1";
+pub const PERF_SCHEMA: &str = "hytgraph-perf-v2";
 
 /// One `(dataset, algo, devices)` measurement.
 #[derive(Clone, Debug, Serialize)]
@@ -40,6 +45,25 @@ pub struct PerfRecord {
     pub exchange_bytes: u64,
 }
 
+/// One batched-vs-serial throughput cell (schema v2): width `B`
+/// coalesced hub traversals on the skewed 8-device ring against the `B`
+/// serial runs they replace.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchedPerfRecord {
+    /// Cohort width.
+    pub width: usize,
+    /// Sum of the serial runs' simulated makespans, seconds.
+    pub serial_time: f64,
+    /// The single batched run's simulated makespan, seconds.
+    pub batched_time: f64,
+    /// `serial_time / batched_time`.
+    pub speedup: f64,
+    /// Sum of the serial runs' exchange payload bytes.
+    pub serial_exchange_bytes: u64,
+    /// The batched run's exchange payload bytes.
+    pub batched_exchange_bytes: u64,
+}
+
 /// The emitted baseline file.
 #[derive(Debug, Serialize)]
 pub struct PerfBaseline {
@@ -49,6 +73,8 @@ pub struct PerfBaseline {
     pub system: &'static str,
     /// Measurements, in sweep order.
     pub records: Vec<PerfRecord>,
+    /// Session-layer batched-vs-serial throughput (since v2).
+    pub batched: Vec<BatchedPerfRecord>,
 }
 
 const ALGOS: [AlgoKind; 5] =
@@ -79,7 +105,19 @@ pub fn collect_baseline(ctx: &mut Ctx, smoke: bool) -> PerfBaseline {
             }
         }
     }
-    PerfBaseline { schema: PERF_SCHEMA, system: SystemKind::HyTGraph.name(), records }
+    let (_, cells) = super::session::batched_sweep(smoke);
+    let batched = cells
+        .iter()
+        .map(|c| BatchedPerfRecord {
+            width: c.width,
+            serial_time: c.serial_time,
+            batched_time: c.batched_time,
+            speedup: c.serial_time / c.batched_time,
+            serial_exchange_bytes: c.serial_bytes,
+            batched_exchange_bytes: c.batched_bytes,
+        })
+        .collect();
+    PerfBaseline { schema: PERF_SCHEMA, system: SystemKind::HyTGraph.name(), records, batched }
 }
 
 /// Regenerate the perf baseline: write the JSON file and return the same
@@ -107,5 +145,19 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
             format!("{:.1}", r.exchange_bytes as f64 / 1024.0),
         ]);
     }
-    vec![t]
+    let mut b = Table::new(
+        "Batched vs serial traversal throughput (skewed graph, D=8 ring)",
+        &["width", "serial time", "batched time", "speedup", "serial KB", "batched KB"],
+    );
+    for r in &baseline.batched {
+        b.row(vec![
+            r.width.to_string(),
+            secs(r.serial_time),
+            secs(r.batched_time),
+            format!("{:.2}x", r.speedup),
+            format!("{:.1}", r.serial_exchange_bytes as f64 / 1024.0),
+            format!("{:.1}", r.batched_exchange_bytes as f64 / 1024.0),
+        ]);
+    }
+    vec![t, b]
 }

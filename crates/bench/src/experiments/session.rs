@@ -1,0 +1,229 @@
+//! Extension experiment: the resident multi-tenant session service
+//! (ISSUE 7).
+//!
+//! One partitioned [`hyt_core::HyTGraphSystem`] stays resident while a
+//! stream of point queries arrives; the service prices each request with
+//! the cost model (formulas (1)–(3) over an all-active sweep), admits or
+//! queues it against a budget, and coalesces compatible traversals into
+//! one MS-BFS-style multi-source cohort so the devices amortise a single
+//! routed exchange. Three views:
+//!
+//! 1. **Admission quotes** — what each query kind prices at and why:
+//!    shipping weights doubles the per-edge bytes (SSSP quotes strictly
+//!    above BFS), while wide values only surface where compaction would
+//!    win, so HyperBall never quotes *below* BFS.
+//! 2. **Batched vs serial** — width `B ∈ {1, 2, 4, 8}` hub-anchored
+//!    traversals on a skewed 8-device ring: wall-clock speedup and the
+//!    exchange-byte ratio of one batched run against the `B` serial runs
+//!    it replaces. Width 1 is the sanity row (identical records, ratio
+//!    1.00).
+//! 3. **Service trace** — a mixed stream (BFS burst, SSSP pair,
+//!    PageRank, HyperBall) through the admission pipeline, with
+//!    per-request wait/cohort/share accounting.
+//!
+//! Set `REPRO_SMOKE=1` for a narrower sweep in CI.
+
+use crate::context::{base_config, Ctx};
+use crate::table::{secs, Table};
+use hyt_algos::{lane_values, AlgoBackend, Bfs, MultiBfs};
+use hyt_core::session::{QueryKind, SessionBackend, SessionConfig};
+use hyt_core::{HyTGraphConfig, HyTGraphSystem, SessionService, SystemKind, TopologyKind};
+use hyt_graph::{generators, Csr};
+
+fn device_config() -> HyTGraphConfig {
+    let mut c = SystemKind::HyTGraph.configure(base_config());
+    c.num_devices = 8;
+    c.topology = TopologyKind::Ring;
+    c.threads = 1; // bit-reproducible host kernels
+    c
+}
+
+/// The top-degree vertices — where concurrent analytics queries land,
+/// and the sources whose frontiers overlap the most.
+fn hub_sources(g: &Csr, n: usize) -> Vec<u32> {
+    let mut by_degree: Vec<(u64, u32)> =
+        (0..g.num_vertices()).map(|v| (g.out_degree(v), v)).collect();
+    by_degree.sort_unstable_by(|a, b| b.cmp(a));
+    by_degree.iter().take(n).map(|&(_, v)| v).collect()
+}
+
+/// One batched width-`B` run: (total time, exchange payload bytes,
+/// lanes-match-serial).
+fn batched<const B: usize>(g: &Csr, srcs: &[u32], serial: &[Vec<u32>]) -> (f64, u64, bool) {
+    let mut a = [0u32; B];
+    a.copy_from_slice(&srcs[..B]);
+    let mut sys = HyTGraphSystem::new(g.clone(), device_config());
+    let r = sys.run(MultiBfs::from_sources(a));
+    let ok = (0..B).all(|k| lane_values(&r.values, k) == serial[k]);
+    (r.total_time, r.counters.exchange_bytes, ok)
+}
+
+/// One `(width, serial, batched)` comparison row for the sweep below and
+/// for the committed perf baseline (`perf.rs`).
+pub struct BatchedCell {
+    /// Cohort width.
+    pub width: usize,
+    /// Sum of the `width` serial runs' makespans.
+    pub serial_time: f64,
+    /// The single batched run's makespan.
+    pub batched_time: f64,
+    /// Sum of the serial runs' exchange payload bytes.
+    pub serial_bytes: u64,
+    /// The batched run's exchange payload bytes.
+    pub batched_bytes: u64,
+    /// Every lane bit-identical to its serial run.
+    pub lanes_match: bool,
+}
+
+/// The batched-vs-serial sweep on the skewed 8-device ring (pure; no
+/// I/O) — shared with the perf baseline.
+pub fn batched_sweep(smoke: bool) -> (Csr, Vec<BatchedCell>) {
+    // Big enough that all 8 ring devices own shards and actually pay the
+    // exchange; small enough that even the smoke leg runs it whole.
+    // Weighted, so the SSSP quote actually has weight bytes to price.
+    let g = generators::power_law_preferential(1 << 12, 12.0, 2.2, 7, true);
+    let widths: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let srcs = hub_sources(&g, 8);
+    let serial: Vec<(Vec<u32>, f64, u64)> = srcs
+        .iter()
+        .map(|&s| {
+            let mut sys = HyTGraphSystem::new(g.clone(), device_config());
+            let r = sys.run(Bfs::from_source(s));
+            (r.values, r.total_time, r.counters.exchange_bytes)
+        })
+        .collect();
+    let values: Vec<Vec<u32>> = serial.iter().map(|(v, _, _)| v.clone()).collect();
+    let mut cells = Vec::new();
+    for &w in widths {
+        let (bt, bb, ok) = match w {
+            1 => batched::<1>(&g, &srcs, &values),
+            2 => batched::<2>(&g, &srcs, &values),
+            4 => batched::<4>(&g, &srcs, &values),
+            8 => batched::<8>(&g, &srcs, &values),
+            _ => unreachable!("unsupported width {w}"),
+        };
+        cells.push(BatchedCell {
+            width: w,
+            serial_time: serial[..w].iter().map(|&(_, t, _)| t).sum(),
+            batched_time: bt,
+            serial_bytes: serial[..w].iter().map(|&(_, _, b)| b).sum(),
+            batched_bytes: bb,
+            lanes_match: ok,
+        });
+    }
+    (g, cells)
+}
+
+/// Regenerate the session-service tables.
+pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
+    let smoke = std::env::var("REPRO_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut out = Vec::new();
+
+    // 1. What the admission controller quotes each kind.
+    let (g, cells) = batched_sweep(smoke);
+    let sys = HyTGraphSystem::new(g.clone(), device_config());
+    let mut svc = SessionService::new(sys, AlgoBackend, SessionConfig::default());
+    let mut t = Table::new(
+        format!(
+            "Admission quotes ({} vertices, {} edges, D=8 ring): all-active sweep price",
+            g.num_vertices(),
+            g.num_edges()
+        ),
+        &["query", "value lanes", "wire B/vertex", "edge weights", "quote (RTTs)"],
+    );
+    for (name, kind) in [
+        ("BFS", QueryKind::Bfs(0)),
+        ("SSSP", QueryKind::Sssp(0)),
+        ("PageRank", QueryKind::PageRank),
+        ("HyperBall", QueryKind::HyperBall),
+    ] {
+        let shape = AlgoBackend.query_shape(kind);
+        t.row(vec![
+            name.into(),
+            shape.layout.lanes.to_string(),
+            shape.layout.wire_bytes.to_string(),
+            if shape.needs_weights { "yes".into() } else { "no".into() },
+            format!("{:.3}", svc.quote(kind).sweep_rtt),
+        ]);
+    }
+    out.push(t);
+
+    // 2. Batched vs serial on the skewed 8-device ring.
+    let mut t = Table::new(
+        "Coalesced hub traversals vs serial (skewed graph, D=8 ring)",
+        &[
+            "width",
+            "serial time",
+            "batched time",
+            "speedup",
+            "serial KB",
+            "batched KB",
+            "byte ratio",
+            "lanes==serial",
+        ],
+    );
+    for c in &cells {
+        t.row(vec![
+            c.width.to_string(),
+            secs(c.serial_time),
+            secs(c.batched_time),
+            format!("{:.2}x", c.serial_time / c.batched_time),
+            format!("{:.1}", c.serial_bytes as f64 / 1024.0),
+            format!("{:.1}", c.batched_bytes as f64 / 1024.0),
+            format!("{:.2}", c.batched_bytes as f64 / c.serial_bytes as f64),
+            if c.lanes_match { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    out.push(t);
+
+    // 3. A mixed stream through the priced admission pipeline.
+    let sys = HyTGraphSystem::new(g.clone(), device_config());
+    let mut svc = SessionService::new(
+        sys,
+        AlgoBackend,
+        SessionConfig { max_batch: 4, admission_budget: f64::INFINITY, max_queue: 64 },
+    );
+    let hubs = hub_sources(&g, 4);
+    for &v in &hubs {
+        svc.submit(QueryKind::Bfs(v));
+    }
+    svc.advance_clock(1.0);
+    svc.submit(QueryKind::Sssp(hubs[0]));
+    svc.submit(QueryKind::Sssp(hubs[1]));
+    svc.submit(QueryKind::PageRank);
+    if !smoke {
+        svc.submit(QueryKind::HyperBall);
+    }
+    let done = svc.drain();
+    let mut t = Table::new(
+        "Service trace: mixed stream, coalesced cohorts, per-request accounting",
+        &["query", "kind", "quote (RTTs)", "wait", "cohort", "width", "share KB", "iters"],
+    );
+    for q in &done {
+        t.row(vec![
+            q.id.0.to_string(),
+            format!("{:?}", q.kind),
+            format!("{:.3}", q.stats.quote.sweep_rtt),
+            secs(q.stats.wait),
+            q.stats.batch.to_string(),
+            q.stats.batch_width.to_string(),
+            format!("{:.1}", q.stats.exchange_share_bytes / 1024.0),
+            q.stats.iterations.to_string(),
+        ]);
+    }
+    out.push(t);
+    let s = svc.stats();
+    let mut t = Table::new(
+        "Session totals",
+        &["completed", "cohorts", "session clock", "still admitted", "still waiting"],
+    );
+    t.row(vec![
+        s.completed.to_string(),
+        s.batches.to_string(),
+        secs(s.clock),
+        s.admitted_now.to_string(),
+        s.waiting_now.to_string(),
+    ]);
+    out.push(t);
+    out
+}

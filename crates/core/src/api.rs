@@ -68,6 +68,33 @@
 //! values in **original** vertex-id order (hub-sort relabelling undone).
 //! HyperBall uses this to read the neighbourhood function N(t) off the
 //! sketch estimates at every radius t.
+//!
+//! # Snapshot consistency contract
+//!
+//! [`Values::snapshot`] reads lock-free, so its guarantees are exactly
+//! the lock-free read's, spelled out per lane count:
+//!
+//! * **Per-lane atomicity, always.** Every 64-bit lane of every returned
+//!   value was atomically stored by some writer (or is the initial
+//!   state); lanes are never out-of-thin-air or mixed within themselves.
+//!   Single-lane values are therefore *never* torn — their whole state
+//!   is one atom.
+//! * **Cross-lane consistency only when quiesced.** Under concurrent
+//!   multi-lane updates, different lanes of one value may come from
+//!   different committed states (a *torn* observation). With no writer
+//!   running, a snapshot is an exact point-in-time copy, wide or not.
+//!
+//! The runner only snapshots **quiesced** state: `observe_iteration`,
+//! the sync-mode seed snapshot, and the final result are all taken at
+//! iteration barriers, after every kernel task of the iteration has
+//! completed and before the next iteration starts. Observers and
+//! convergence decisions therefore never see a torn multi-lane value —
+//! a half-merged HLL sketch can never be mistaken for a converged one.
+//! Code reading a live [`Values`] array from *outside* the runner's
+//! barriers (debug probes, mid-run monitors) must either tolerate
+//! cross-lane tearing or take the writers' stripes; the runner itself
+//! never needs to. `tests::snapshots` holds both halves of this
+//! contract under deliberate cross-thread hammering.
 
 use hyt_graph::{VertexId, Weight};
 use serde::Serialize;
@@ -507,6 +534,12 @@ impl<V: VertexValue> Values<V> {
 
     /// Snapshot all states (oracle comparison, sync-mode seed reads,
     /// iteration observers).
+    ///
+    /// Lock-free: per-lane atomic always, cross-lane exact only when no
+    /// writer is running — see the module-level *snapshot consistency
+    /// contract*. The runner calls this only at iteration barriers, so
+    /// everything it observes (including `observe_iteration` input) is
+    /// untorn.
     pub fn snapshot(&self) -> Vec<V> {
         (0..self.len as u32).map(|v| self.get(v)).collect()
     }
@@ -733,5 +766,136 @@ mod tests {
         assert_eq!(w.record_bytes(), 36);
         assert_eq!(w.state_bytes(), 48);
         assert_eq!(w.compaction_surplus(), 24);
+    }
+
+    /// The module-level *snapshot consistency contract*, held under
+    /// deliberate cross-thread hammering.
+    mod snapshots {
+        use super::{Values, Wide4};
+        use crate::api::{EdgeCtx, F32Pair, InitialFrontier, VertexProgram};
+        use hyt_graph::VertexId;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        /// Single-lane values are one atom: the two f32 halves of an
+        /// [`F32Pair`] can never be observed from different writes.
+        #[test]
+        fn single_lane_snapshots_are_never_torn() {
+            let vals = Arc::new(Values::<F32Pair>::init_with(1, |_| F32Pair { a: 0.0, b: 0.0 }));
+            let stop = Arc::new(AtomicBool::new(false));
+            let writers: Vec<_> = (0..4)
+                .map(|t| {
+                    let vals = Arc::clone(&vals);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut x = t as f32;
+                        while !stop.load(Ordering::Relaxed) {
+                            // Invariant of every committed state: b == -a.
+                            vals.update(0, |_| Some(F32Pair { a: x, b: -x }));
+                            x += 4.0;
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..50_000 {
+                let p = vals.snapshot()[0];
+                assert_eq!(p.b, -p.a, "torn single-lane read: {p:?}");
+            }
+            stop.store(true, Ordering::Relaxed);
+            for w in writers {
+                w.join().unwrap();
+            }
+        }
+
+        /// Wide values: every *lane* of a concurrent snapshot comes from
+        /// some committed state (per-lane atomicity — no out-of-thin-air
+        /// lanes), while *cross-lane* consistency is only promised once
+        /// writers quiesce. Writers commit only states of the form
+        /// `[k, 2k, 3k, 4k]`, so a lane not divisible by its position+1
+        /// would prove a non-atomic lane, and unequal generations across
+        /// lanes are exactly a (permitted) torn observation.
+        #[test]
+        fn concurrent_wide_snapshots_are_lane_atomic_and_exact_once_quiesced() {
+            let vals = Arc::new(Values::<Wide4>::init_with(1, |_| Wide4([0; 4])));
+            let stop = Arc::new(AtomicBool::new(false));
+            let writers: Vec<_> = (0..4)
+                .map(|t| {
+                    let vals = Arc::clone(&vals);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut k = 1 + t as u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let gen = Wide4([k, 2 * k, 3 * k, 4 * k]);
+                            vals.update(0, |cur| (gen.0[0] > cur.0[0]).then_some(gen));
+                            k += 4;
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..20_000 {
+                let w = vals.snapshot()[0];
+                for (i, &lane) in w.0.iter().enumerate() {
+                    assert_eq!(
+                        lane % (i as u64 + 1),
+                        0,
+                        "lane {i} of {w:?} matches no committed state"
+                    );
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            for w in writers {
+                w.join().unwrap();
+            }
+            // Quiesced: the snapshot is an exact, untorn point-in-time copy.
+            let w = vals.snapshot()[0];
+            let k = w.0[0];
+            assert!(k > 0, "writers committed nothing");
+            assert_eq!(w, Wide4([k, 2 * k, 3 * k, 4 * k]));
+            assert_eq!(vals.get(0), w);
+        }
+
+        /// The runner half of the contract: `observe_iteration` and the
+        /// final result are snapshotted at iteration barriers, so even a
+        /// parallel multi-lane run never shows an observer a torn value.
+        /// Every state this program commits has all four lanes equal; an
+        /// observer seeing anything else caught a torn observation
+        /// leaking through the barrier.
+        #[test]
+        fn runner_observers_only_see_untorn_wide_state() {
+            struct EqualLanes;
+            impl VertexProgram for EqualLanes {
+                type Value = Wide4;
+                const OBSERVES_ITERATIONS: bool = true;
+                fn init(&self, v: VertexId) -> Wide4 {
+                    Wide4([u64::from(v) + 1000; 4])
+                }
+                fn initial_frontier(&self) -> InitialFrontier {
+                    InitialFrontier::All
+                }
+                fn message(&self, seed: Wide4, _ctx: EdgeCtx) -> Option<Wide4> {
+                    Some(seed)
+                }
+                fn accumulate(&self, s: Wide4, m: Wide4) -> Option<Wide4> {
+                    let v = s.0[0].min(m.0[0]);
+                    (v < s.0[0]).then_some(Wide4([v; 4]))
+                }
+                fn observe_iteration(&self, iteration: u32, values: &[Wide4]) {
+                    for w in values {
+                        assert!(
+                            w.0.iter().all(|&l| l == w.0[0]),
+                            "iteration {iteration} observed a torn value {w:?}"
+                        );
+                    }
+                }
+            }
+            let g = hyt_graph::generators::rmat(8, 6.0, 11, false);
+            // Default config: parallel host kernels, so lane writes race
+            // snapshot-taking unless the barrier quiesces them.
+            let mut sys =
+                crate::runner::HyTGraphSystem::new(g, crate::config::HyTGraphConfig::default());
+            let r = sys.run(EqualLanes);
+            assert!(r.iterations >= 1, "the observer must have run at least once");
+            assert!(r.values.iter().all(|w| w.0.iter().all(|&l| l == w.0[0])));
+        }
     }
 }

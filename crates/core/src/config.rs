@@ -29,6 +29,30 @@ pub enum AsyncMode {
     },
 }
 
+/// How the exchange-overlap window is sized when `overlap_exchange` is
+/// on: what portion of the next iteration's work iteration `i`'s routed
+/// all-gather may hide under.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverlapWindow {
+    /// Size the window per iteration from what actually runs next: the
+    /// overlappable analysis share of the orchestration overhead
+    /// ([`crate::runner::ANALYSIS_SPAN_COPIES`] launch latencies),
+    /// scaled by the fraction of partitions the *next* iteration's
+    /// activity analysis actually prices. An exchange followed by no
+    /// further iteration (frontier drained, or the `max_iterations` cap)
+    /// hides nothing — there is no next analysis to hide under. The
+    /// default.
+    #[default]
+    Measured,
+    /// The historical fixed window of
+    /// [`crate::runner::ITERATION_OVERHEAD_COPIES`] launch latencies,
+    /// regardless of what the next iteration does (it over-hides
+    /// whenever the next analysis is shorter than the constant, and
+    /// hides under a final iteration that never materialises when the
+    /// frontier drains). Kept reproducible for differential suites.
+    FixedConstant,
+}
+
 /// Full configuration of a run.
 #[derive(Clone, Debug)]
 pub struct HyTGraphConfig {
@@ -109,6 +133,10 @@ pub struct HyTGraphConfig {
     /// serial segment (ROADMAP item 3). Off by default so the serial
     /// baseline stays reproducible.
     pub overlap_exchange: bool,
+    /// How the overlap window is sized when `overlap_exchange` is on:
+    /// measured per-iteration from the next analysis span (the default),
+    /// or the historical fixed constant for differential suites.
+    pub overlap_window: OverlapWindow,
     /// Inflate Algorithm 1's transfer costs by the number of devices
     /// sharing the host link (see `PartitionCosts::under_contention`),
     /// shifting the ZC/filter crossover with `D`. Off by default: the
@@ -152,6 +180,7 @@ impl Default for HyTGraphConfig {
             load_aware_exchange: false,
             cut_through: None,
             overlap_exchange: false,
+            overlap_window: OverlapWindow::Measured,
             contention_aware_selection: false,
             num_streams: 4,
             threads: default_threads(),
@@ -192,6 +221,11 @@ mod tests {
         assert_eq!(c.cut_through, None, "store-and-forward is the PR 4 baseline");
         assert_eq!(c.peer_link.duplex, hyt_sim::Duplex::Full, "NVLink is full-duplex");
         assert!(!c.overlap_exchange, "the serial exchange is the reproducible baseline");
+        assert_eq!(
+            c.overlap_window,
+            OverlapWindow::Measured,
+            "overlap, when enabled, hides under the measured next analysis span"
+        );
         assert!(!c.contention_aware_selection, "contended costs are opt-in");
         assert_eq!(c.select_params.contention, 1.0);
     }

@@ -17,6 +17,9 @@
 //!   the edges each engine delivers;
 //! * [`runner`] — the iteration driver weaving it together (Fig. 5);
 //! * [`systems`] — whole-system presets reproducing every Table V row;
+//! * [`session`] — the resident multi-tenant query service: cost-priced
+//!   admission control and MS-BFS-style query coalescing over one
+//!   resident system;
 //! * [`config`], [`stats`] — configuration and per-iteration records.
 //!
 //! ```
@@ -48,6 +51,7 @@ pub mod kernel;
 pub mod priority;
 pub mod runner;
 pub mod select;
+pub mod session;
 pub mod stats;
 pub mod systems;
 
@@ -55,11 +59,16 @@ pub use api::{
     EdgeCtx, F32Pair, InitialFrontier, PriorityMode, ValueLayout, Values, VertexProgram,
     VertexValue, MAX_VALUE_LANES,
 };
-pub use config::{AsyncMode, HyTGraphConfig};
+pub use config::{AsyncMode, HyTGraphConfig, OverlapWindow};
 pub use cost::{partition_costs, partition_costs_sized, PartitionCosts};
 pub use hyt_engines::EngineKind;
 pub use hyt_sim::{Duplex, Interconnect, LinkSpec, Route, TopologyKind, ROUTE_BREAKPOINT_LADDER};
 pub use runner::HyTGraphSystem;
 pub use select::{DeviceBudgets, SelectParams, Selection};
+pub use session::{
+    Admission, CohortOutcome, CompletedQuery, CostQuote, QueryId, QueryKind, QueryOutput,
+    QueryShape, QueryStats, RejectReason, SessionBackend, SessionConfig, SessionService,
+    SessionStats,
+};
 pub use stats::{DeviceIterationStats, EngineMix, ExchangeStats, IterationStats, RunResult};
 pub use systems::SystemKind;

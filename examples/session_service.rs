@@ -1,0 +1,113 @@
+//! Resident session service: one partitioned system, many tenants.
+//!
+//! ```text
+//! cargo run --release --example session_service
+//! ```
+//!
+//! A long-running deployment does not rebuild partitions per query: it
+//! keeps one [`HyTGraphSystem`] resident and admits a stream of point
+//! queries against it. This example drives the full pipeline:
+//!
+//! 1. every request is priced with the paper's cost model (an all-active
+//!    sweep of formulas (1)-(3)) before it is admitted, queued, or
+//!    rejected with the quote attached;
+//! 2. compatible in-flight traversals coalesce into one multi-source
+//!    cohort (MS-BFS style, one lane per source), so the devices pay a
+//!    single routed exchange for the whole batch;
+//! 3. results demultiplex per request, with wait / cohort / exchange-share
+//!    accounting on every answer.
+
+use hytgraph::core::TopologyKind;
+use hytgraph::graph::generators;
+use hytgraph::prelude::*;
+
+fn main() {
+    // A skewed graph sharded over 8 simulated GPUs on a ring — the
+    // setting where coalescing pays: hub-anchored frontiers overlap, so
+    // one wide exchange record replaces several narrow ones.
+    let graph = generators::power_law_preferential(1 << 12, 12.0, 2.2, 7, true);
+    let mut config = SystemKind::HyTGraph.configure(HyTGraphConfig::default());
+    config.num_devices = 8;
+    config.topology = TopologyKind::Ring;
+    config.threads = 1;
+    let system = HyTGraphSystem::new(graph.clone(), config);
+
+    // Hubs: where concurrent analytics queries actually land.
+    let mut by_degree: Vec<(u64, u32)> =
+        (0..graph.num_vertices()).map(|v| (graph.out_degree(v), v)).collect();
+    by_degree.sort_unstable_by(|a, b| b.cmp(a));
+    let hubs: Vec<u32> = by_degree.iter().take(4).map(|&(_, v)| v).collect();
+
+    let mut service = SessionService::new(
+        system,
+        AlgoBackend,
+        SessionConfig { max_batch: 4, admission_budget: 8.0, max_queue: 2 },
+    );
+
+    // A burst of tenants: four BFS point lookups, two SSSP refreshes on
+    // the same hubs, a PageRank refresh, and one HyperBall snapshot.
+    let stream = [
+        QueryKind::Bfs(hubs[0]),
+        QueryKind::Bfs(hubs[1]),
+        QueryKind::Bfs(hubs[2]),
+        QueryKind::Bfs(hubs[3]),
+        QueryKind::Sssp(hubs[0]),
+        QueryKind::Sssp(hubs[1]),
+        QueryKind::PageRank,
+        QueryKind::HyperBall,
+    ];
+    println!("admission (budget 8.0 sweep-RTTs, queue depth 2):");
+    for kind in stream {
+        match service.submit(kind) {
+            Admission::Admitted { id, quote } => {
+                println!("  #{:<2} {kind:?}: admitted at {:.2} RTTs", id.0, quote.sweep_rtt)
+            }
+            Admission::Queued { id, position, quote } => println!(
+                "  #{:<2} {kind:?}: queued at slot {position} ({:.2} RTTs)",
+                id.0, quote.sweep_rtt
+            ),
+            Admission::Rejected { reason, quote } => {
+                println!("     {kind:?}: rejected ({reason:?}, quoted {:.2} RTTs)", quote.sweep_rtt)
+            }
+        }
+        // Tenants trickle in 100us apart on the session clock.
+        service.advance_clock(100.0e-6);
+    }
+
+    println!("\ncompleted (coalesced cohorts, per-request demux):");
+    for q in service.drain() {
+        let answer = match &q.output {
+            QueryOutput::Distances(d) => {
+                let reached = d.iter().filter(|&&x| x != u32::MAX).count();
+                format!("{reached} vertices reached")
+            }
+            QueryOutput::Scores(s) => {
+                let top = s
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(v, _)| v)
+                    .unwrap();
+                format!("top vertex {top}")
+            }
+        };
+        println!(
+            "  #{:<2} {:?}: cohort {} (width {}), waited {:.0}us, \
+             {:.1} KB exchange share, {answer}",
+            q.id.0,
+            q.kind,
+            q.stats.batch,
+            q.stats.batch_width,
+            q.stats.wait * 1e6,
+            q.stats.exchange_share_bytes / 1024.0,
+        );
+    }
+
+    let s = service.stats();
+    println!(
+        "\nsession: {} queries in {} cohorts, clock {:.0}us",
+        s.completed,
+        s.batches,
+        s.clock * 1e6
+    );
+}

@@ -36,7 +36,12 @@
 //!   contribution-driven scheduling, and whole-system configurations
 //!   ([`hyt_core`]).
 //! * [`algos`] — SSSP, BFS, CC, PageRank, PHP and HyperBall vertex
-//!   programs plus sequential oracles ([`hyt_algos`]).
+//!   programs plus sequential oracles, MS-BFS-style multi-source batches,
+//!   and the session-service backend ([`hyt_algos`]).
+//!
+//! For serving many point queries against one resident graph — priced
+//! admission control and automatic query coalescing — see
+//! [`core::session`] and `examples/session_service.rs`.
 //!
 //! ## Quickstart
 //!
@@ -61,9 +66,13 @@ pub use hyt_sim as sim;
 
 /// Convenience re-exports covering the common public API surface.
 pub mod prelude {
-    pub use hyt_algos::{run_hyperball, Bfs, Cc, HyperBall, PageRank, Php, Sssp};
+    pub use hyt_algos::{
+        lane_values, run_hyperball, AlgoBackend, Bfs, Cc, HyperBall, MultiBfs, MultiSssp, PageRank,
+        Php, Sssp,
+    };
     pub use hyt_core::{
-        AsyncMode, EngineKind, HyTGraphConfig, HyTGraphSystem, RunResult, SystemKind,
+        Admission, AsyncMode, EngineKind, HyTGraphConfig, HyTGraphSystem, OverlapWindow, QueryKind,
+        QueryOutput, RunResult, SessionConfig, SessionService, SystemKind,
     };
     pub use hyt_graph::{Csr, GraphBuilder, VertexId};
     pub use hyt_sim::GpuModel;
