@@ -12,6 +12,7 @@ pub mod hyperball;
 pub mod multigpu;
 pub mod nvlink;
 pub mod perf;
+pub mod placement;
 pub mod session;
 pub mod table1;
 pub mod table2;
@@ -129,6 +130,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "session",
             about: "extension: resident session service — quotes, coalesced cohorts, mixed stream",
             run: session::run,
+        },
+        Experiment {
+            name: "placement",
+            about: "extension: cost-driven placement + affine-migration break-even (skewed ring)",
+            run: placement::run,
         },
         Experiment {
             name: "perf",

@@ -12,7 +12,16 @@
 //! * since v2: the session layer's batched-vs-serial throughput table —
 //!   width `B` coalesced hub traversals on a skewed 8-device ring
 //!   against the `B` serial runs they replace (see
-//!   [`super::session::batched_sweep`]).
+//!   [`super::session::batched_sweep`]);
+//! * since v3: the placement table — `EdgeBalanced` vs `CostDriven`
+//!   assignment on the skewed mixed-generation D=8 ring (see
+//!   [`super::placement::placement_sweep`]).
+//!
+//! Since v3 the run also **diffs against the committed baseline**: any
+//! matching `(dataset, algo, devices)` record whose simulated makespan
+//! regressed by more than [`PERF_REGRESSION_TOLERANCE`] fails the run
+//! (outside smoke mode), so perf regressions fail CI instead of being
+//! silently committed as the new baseline.
 //!
 //! Set `REPRO_SMOKE=1` for a reduced sweep (one dataset, `D ∈ {1, 4}`,
 //! batch widths `{1, 4}`) in CI; the committed baseline comes from the
@@ -24,9 +33,14 @@ use hyt_algos::AlgoKind;
 use hyt_core::SystemKind;
 use hyt_graph::DatasetId;
 use serde::Serialize;
+use serde_json::Value;
 
 /// Schema tag for the emitted JSON, bumped on layout changes.
-pub const PERF_SCHEMA: &str = "hytgraph-perf-v2";
+pub const PERF_SCHEMA: &str = "hytgraph-perf-v3";
+
+/// Fractional `total_time` growth over the committed baseline that
+/// fails a non-smoke `repro perf` run (25%).
+pub const PERF_REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// One `(dataset, algo, devices)` measurement.
 #[derive(Clone, Debug, Serialize)]
@@ -64,6 +78,28 @@ pub struct BatchedPerfRecord {
     pub batched_exchange_bytes: u64,
 }
 
+/// One placement comparison cell (schema v3): `EdgeBalanced` vs
+/// `CostDriven` assignment on the skewed mixed-generation D=8 ring.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlacementPerfRecord {
+    /// Dataset short name.
+    pub dataset: String,
+    /// Algorithm short name.
+    pub algo: String,
+    /// Assignment policy (`EdgeBalanced` / `CostDriven`).
+    pub assignment: String,
+    /// Device count.
+    pub devices: usize,
+    /// Iterations to convergence.
+    pub iterations: u32,
+    /// Simulated makespan in seconds.
+    pub total_time: f64,
+    /// Sum of per-iteration priced exchange makespans, seconds.
+    pub exchange_time: f64,
+    /// Exchange payload bytes.
+    pub exchange_bytes: u64,
+}
+
 /// The emitted baseline file.
 #[derive(Debug, Serialize)]
 pub struct PerfBaseline {
@@ -75,6 +111,69 @@ pub struct PerfBaseline {
     pub records: Vec<PerfRecord>,
     /// Session-layer batched-vs-serial throughput (since v2).
     pub batched: Vec<BatchedPerfRecord>,
+    /// Placement pricing comparison on the skewed ring (since v3).
+    pub placement: Vec<PlacementPerfRecord>,
+}
+
+/// The fields of a committed baseline the regression gate needs. Parsed
+/// leniently from the dynamic [`Value`] tree — older schemas still
+/// yield their records, so the first v3 run diffs against the committed
+/// v2 file, and a malformed file degrades to "no baseline".
+#[derive(Debug, Default)]
+struct CommittedBaseline {
+    schema: String,
+    records: Vec<PerfRecord>,
+}
+
+fn parse_committed(text: &str) -> CommittedBaseline {
+    let Ok(doc) = serde_json::from_str(text) else {
+        return CommittedBaseline::default();
+    };
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or_default().to_string();
+    let records = doc
+        .get("records")
+        .and_then(Value::as_array)
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|r| {
+            Some(PerfRecord {
+                dataset: r.get("dataset")?.as_str()?.to_string(),
+                algo: r.get("algo")?.as_str()?.to_string(),
+                devices: r.get("devices")?.as_u64()? as usize,
+                iterations: r.get("iterations")?.as_u64()? as u32,
+                total_time: r.get("total_time")?.as_f64()?,
+                exchange_bytes: r.get("exchange_bytes")?.as_u64()?,
+            })
+        })
+        .collect();
+    CommittedBaseline { schema, records }
+}
+
+/// Compare a fresh sweep against the committed records: one line per
+/// matching `(dataset, algo, devices)` cell whose `total_time` grew by
+/// more than [`PERF_REGRESSION_TOLERANCE`].
+pub fn diff_regressions(old: &[PerfRecord], new: &[PerfRecord]) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in new {
+        let matched = old
+            .iter()
+            .find(|o| o.dataset == n.dataset && o.algo == n.algo && o.devices == n.devices);
+        if let Some(o) = matched {
+            if o.total_time > 0.0 && n.total_time > o.total_time * (1.0 + PERF_REGRESSION_TOLERANCE)
+            {
+                out.push(format!(
+                    "{} {} D={}: {} -> {} (+{:.0}%)",
+                    n.dataset,
+                    n.algo,
+                    n.devices,
+                    secs(o.total_time),
+                    secs(n.total_time),
+                    (n.total_time / o.total_time - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    out
 }
 
 const ALGOS: [AlgoKind; 5] =
@@ -117,15 +216,61 @@ pub fn collect_baseline(ctx: &mut Ctx, smoke: bool) -> PerfBaseline {
             batched_exchange_bytes: c.batched_bytes,
         })
         .collect();
-    PerfBaseline { schema: PERF_SCHEMA, system: SystemKind::HyTGraph.name(), records, batched }
+    let placement = super::placement::placement_sweep(ctx, smoke)
+        .into_iter()
+        .map(|c| PlacementPerfRecord {
+            dataset: c.dataset,
+            algo: c.algo,
+            assignment: c.assignment.to_string(),
+            devices: c.devices,
+            iterations: c.iterations,
+            total_time: c.total_time,
+            exchange_time: c.exchange_time,
+            exchange_bytes: c.exchange_bytes,
+        })
+        .collect();
+    PerfBaseline {
+        schema: PERF_SCHEMA,
+        system: SystemKind::HyTGraph.name(),
+        records,
+        batched,
+        placement,
+    }
 }
 
-/// Regenerate the perf baseline: write the JSON file and return the same
-/// figures as a printable table.
+/// Regenerate the perf baseline: diff against the committed file, write
+/// the JSON, and return the same figures as printable tables. Outside
+/// smoke mode a >[`PERF_REGRESSION_TOLERANCE`] makespan regression on
+/// any matching record panics instead of overwriting the baseline.
 pub fn run(ctx: &mut Ctx) -> Vec<Table> {
     let smoke = std::env::var("REPRO_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let baseline = collect_baseline(ctx, smoke);
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
+    let committed =
+        std::fs::read_to_string(&path).ok().map(|s| parse_committed(&s)).unwrap_or_default();
+    if committed.records.is_empty() {
+        eprintln!("   no committed baseline at {path}; skipping regression diff");
+    } else {
+        let regressions = diff_regressions(&committed.records, &baseline.records);
+        if regressions.is_empty() {
+            eprintln!(
+                "   no >{:.0}% regressions vs committed {} baseline",
+                PERF_REGRESSION_TOLERANCE * 100.0,
+                committed.schema
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("   REGRESSION {r}");
+            }
+            assert!(
+                smoke,
+                "repro perf: {} record(s) regressed >{:.0}% vs committed {path}",
+                regressions.len(),
+                PERF_REGRESSION_TOLERANCE * 100.0
+            );
+            eprintln!("   (smoke mode: regression diff is advisory only)");
+        }
+    }
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serialises");
     match std::fs::write(&path, json + "\n") {
         Ok(()) => eprintln!("   wrote {} records to {path}", baseline.records.len()),
@@ -159,5 +304,19 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
             format!("{:.1}", r.batched_exchange_bytes as f64 / 1024.0),
         ]);
     }
-    vec![t, b]
+    let mut p = Table::new(
+        "Placement pricing (skewed mixed-generation ring, D=8)",
+        &["dataset", "algo", "assignment", "iters", "time", "exchange KB"],
+    );
+    for r in &baseline.placement {
+        p.row(vec![
+            r.dataset.clone(),
+            r.algo.clone(),
+            r.assignment.clone(),
+            r.iterations.to_string(),
+            secs(r.total_time),
+            format!("{:.1}", r.exchange_bytes as f64 / 1024.0),
+        ]);
+    }
+    vec![t, b, p]
 }

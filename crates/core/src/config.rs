@@ -137,6 +137,29 @@ pub struct HyTGraphConfig {
     /// measured per-iteration from the next analysis span (the default),
     /// or the historical fixed constant for differential suites.
     pub overlap_window: OverlapWindow,
+    /// Device-affine migration: between iterations (and, because the
+    /// device plan is resident, between back-to-back runs on one
+    /// system), move a partition to the device its activity keeps
+    /// coupling it with whenever the one-off bulk copy — priced over the
+    /// routed interconnect — is cheaper than
+    /// [`crate::runner::MIGRATION_HORIZON_ITERS`] more iterations of
+    /// exchange at the observed rate. Strict-improvement-only, like the
+    /// load-aware re-route pass; values are bit-identical by
+    /// construction (placement never changes what a synchronised
+    /// iteration computes). Off by default so placements stay static and
+    /// reproducible.
+    pub affine_migration: bool,
+    /// Peer-served zero-copy: after a migration leaves a warm copy of a
+    /// partition on its previous device, the new owner's zero-copy
+    /// engine reads over their direct peer link instead of host-staging
+    /// through the root complex — priced as one more rung in the
+    /// engine-selection crossover
+    /// ([`crate::select::SelectParams::peer_zc_scale`]) and reported as
+    /// the `peer_zc_bytes` column of
+    /// [`crate::stats::ExchangeStats`]. Only ever *lowers* the priced
+    /// zero-copy cost (the rung is skipped when the peer link is no
+    /// faster than the host path). Off by default.
+    pub peer_zc: bool,
     /// Inflate Algorithm 1's transfer costs by the number of devices
     /// sharing the host link (see `PartitionCosts::under_contention`),
     /// shifting the ZC/filter crossover with `D`. Off by default: the
@@ -181,6 +204,8 @@ impl Default for HyTGraphConfig {
             cut_through: None,
             overlap_exchange: false,
             overlap_window: OverlapWindow::Measured,
+            affine_migration: false,
+            peer_zc: false,
             contention_aware_selection: false,
             num_streams: 4,
             threads: default_threads(),
@@ -226,8 +251,11 @@ mod tests {
             OverlapWindow::Measured,
             "overlap, when enabled, hides under the measured next analysis span"
         );
+        assert!(!c.affine_migration, "static placement is the reproducible baseline");
+        assert!(!c.peer_zc, "peer-served zero-copy is opt-in");
         assert!(!c.contention_aware_selection, "contended costs are opt-in");
         assert_eq!(c.select_params.contention, 1.0);
+        assert_eq!(c.select_params.peer_zc_scale, 1.0, "no peer rung unless a warm copy exists");
     }
 
     #[test]

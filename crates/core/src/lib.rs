@@ -63,7 +63,7 @@ pub use config::{AsyncMode, HyTGraphConfig, OverlapWindow};
 pub use cost::{partition_costs, partition_costs_sized, PartitionCosts};
 pub use hyt_engines::EngineKind;
 pub use hyt_sim::{Duplex, Interconnect, LinkSpec, Route, TopologyKind, ROUTE_BREAKPOINT_LADDER};
-pub use runner::HyTGraphSystem;
+pub use runner::{HyTGraphSystem, MigrationEvent, MIGRATION_HORIZON_ITERS};
 pub use select::{DeviceBudgets, SelectParams, Selection};
 pub use session::{
     Admission, CohortOutcome, CompletedQuery, CostQuote, QueryId, QueryKind, QueryOutput,

@@ -51,13 +51,16 @@ use crate::combine::{combine_tasks_sized, CombinedTask};
 use crate::config::{AsyncMode, HyTGraphConfig, OverlapWindow};
 use crate::kernel::{run_kernel, EdgeSource};
 use crate::priority::order_tasks;
-use crate::select::{select_engines_sharded, DeviceBudgets, Selection};
+use crate::select::{select_engines_sharded_by, DeviceBudgets, SelectParams, Selection};
 use crate::stats::{DeviceIterationStats, EngineMix, ExchangeStats, IterationStats, RunResult};
 use hyt_engines::{
     analyze_partitions, compaction, filter, zero_copy, EngineKind, PartitionActivity, TaskPlan,
     UnifiedState,
 };
-use hyt_graph::{hub_sort, Csr, DevicePlan, Frontier, HubSortResult, PartitionSet, VertexId};
+use hyt_graph::placement::{plan_cost_driven, AffinityMatrix, PlacementPricer};
+use hyt_graph::{
+    hub_sort, Csr, DeviceAssignment, DevicePlan, Frontier, HubSortResult, PartitionSet, VertexId,
+};
 use hyt_sim::{ExchangeReport, Interconnect, MultiGpuSim, SimTask, TransferCounters};
 
 /// Per-iteration orchestration overhead (GPU-side cost analysis +
@@ -110,6 +113,36 @@ pub const VERTEX_STATE_BYTES: u64 = ValueLayout::narrow().state_bytes();
 /// live figure is the program's [`ValueLayout::record_bytes`].
 pub const EXCHANGE_RECORD_BYTES: u64 = ValueLayout::narrow().record_bytes();
 
+/// Pay-off horizon of device-affine migration
+/// ([`crate::config::HyTGraphConfig::affine_migration`]): a partition
+/// moves only when its one-off bulk copy (priced over the routed
+/// interconnect) is strictly cheaper than this many iterations of the
+/// measured exchange savings the move buys. The feature targets
+/// *resident* systems (the session service re-runs similar query shapes
+/// against one build), so the horizon deliberately spans beyond a
+/// single run's remaining iterations: the warm plan — and the copy that
+/// bought it — keeps paying off across session runs.
+pub const MIGRATION_HORIZON_ITERS: f64 = 32.0;
+
+/// Iterations of activation observations the migration planner requires
+/// before it trusts the measured re-activation rates at all (one hot
+/// iteration is noise; a trend is a signal).
+pub const MIGRATION_MIN_OBSERVATIONS: u32 = 3;
+
+/// One applied device-affine migration (see
+/// [`HyTGraphSystem::migrations`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationEvent {
+    /// Partition that moved.
+    pub partition: u32,
+    /// Device it moved off.
+    pub from: u32,
+    /// Device that keeps activating it.
+    pub to: u32,
+    /// Priced one-off bulk-copy cost charged to the run that moved it.
+    pub copy_cost: f64,
+}
+
 /// A configured system bound to one graph: construct once, run many
 /// algorithms (hub sorting is a one-off preprocessing step, Section VI-A).
 ///
@@ -128,6 +161,16 @@ pub const EXCHANGE_RECORD_BYTES: u64 = ValueLayout::narrow().record_bytes();
 /// Neither can leak one run's data into the next; `tests/resident.rs`
 /// holds the system to this contract, and the session service
 /// ([`crate::session`]) depends on it.
+///
+/// The one documented exception is opt-in: with
+/// [`HyTGraphConfig::affine_migration`] on, the partition→device plan
+/// (and the re-activation observations driving it) deliberately
+/// persists and evolves across runs — a partition one run's trajectory
+/// migrated stays migrated for the next, which is the point for
+/// resident multi-tenant sessions. Values stay bit-identical either
+/// way (placement cannot change what a synchronised iteration
+/// computes); only the timeline moves, and `tests/resident.rs` holds
+/// the differential claim.
 pub struct HyTGraphSystem {
     graph: Csr,
     hub: Option<HubSortResult>,
@@ -147,6 +190,23 @@ pub struct HyTGraphSystem {
     /// reused across iterations *and* runs, zero-filled before every
     /// use (see `price_exchange`).
     exchange_owned: Vec<u64>,
+    /// Pairwise expected-exchange matrix, kept when cost-driven
+    /// placement or affine migration needs it (`None` on single-device
+    /// builds, past [`hyt_graph::placement::AFFINITY_DENSE_CAP`], or
+    /// when neither feature is on).
+    affinity: Option<AffinityMatrix>,
+    /// `warm_copies[p]` = the device a migration moved partition `p`
+    /// *off*, whose edge cache still holds `p`'s data. Peer-served
+    /// zero-copy (`config.peer_zc`) reads against that copy over the
+    /// direct peer link when it prices below host staging.
+    warm_copies: Vec<Option<u32>>,
+    /// Per-partition newly-activated-vertex observations feeding the
+    /// migration planner (reset after every applied migration).
+    react_records: Vec<u64>,
+    /// Iterations observed since the last migration (or build).
+    observed_iters: u32,
+    /// Applied migrations, in order, across all runs of this system.
+    migration_log: Vec<MigrationEvent>,
     config: HyTGraphConfig,
 }
 
@@ -171,12 +231,7 @@ impl HyTGraphSystem {
         let working = hub.as_ref().map(|h| h.graph.clone()).unwrap_or_else(|| graph.clone());
         let parts = PartitionSet::build(&working, config.partition_bytes);
         let num_hubs = hub.as_ref().map_or(0, |h| h.num_hubs);
-        let devices = DevicePlan::build(
-            &parts,
-            config.num_devices.max(1) as u32,
-            config.device_assignment,
-            num_hubs,
-        );
+        let nd = config.num_devices.max(1) as u32;
         // The blanket cut-through knob applies to every peer link that
         // does not carry its own per-link chunk size already. Routing
         // through LinkSpec::with_cut_through keeps its chunk validation
@@ -188,7 +243,7 @@ impl HyTGraphSystem {
         };
         let mut interconnect = Interconnect::build(
             config.topology,
-            devices.num_devices() as usize,
+            nd as usize,
             config.machine.pcie,
             cut(config.peer_link),
         );
@@ -198,6 +253,41 @@ impl HyTGraphSystem {
         if !config.route_breakpoints.is_empty() {
             interconnect = interconnect.with_route_breakpoints(&config.route_breakpoints);
         }
+        // The affinity matrix serves both priced features: cost-driven
+        // initial placement and between-iteration affine migration. It is
+        // estimated once, before any program runs, with the narrow
+        // layout's exchange record — placement is program-agnostic, and
+        // wider records scale every entry uniformly (the planner's
+        // comparisons are invariant to that scale up to route-rung
+        // boundaries).
+        let wants_affinity = nd > 1
+            && parts.len() <= hyt_graph::placement::AFFINITY_DENSE_CAP
+            && (config.device_assignment == DeviceAssignment::CostDriven
+                || config.affine_migration);
+        let affinity =
+            wants_affinity.then(|| AffinityMatrix::build(&working, &parts, EXCHANGE_RECORD_BYTES));
+        let devices = match (config.device_assignment, affinity.as_ref()) {
+            (DeviceAssignment::CostDriven, Some(aff)) => {
+                // The planner lives below the simulator; the fabric
+                // arrives as pricing closures over this interconnect.
+                let exchange = |pubd: &[u64], holders: &[bool]| {
+                    interconnect.price_all_gather(pubd, holders).makespan
+                };
+                let compute = |edges: u64| config.machine.kernel.kernel_time(edges);
+                let link =
+                    |src: u32, dst: u32, bytes: u64| interconnect.route_cost(src, dst, bytes);
+                let pricer = PlacementPricer {
+                    exchange: &exchange,
+                    compute: &compute,
+                    link: &link,
+                    uniform: interconnect.is_uniform_fabric(),
+                };
+                plan_cost_driven(&parts, nd, aff, &pricer)
+            }
+            // CostDriven past the dense cap (or at D = 1) degrades to its
+            // documented edge-balanced fallback inside DevicePlan::build.
+            (assignment, _) => DevicePlan::build(&parts, nd, assignment, num_hubs),
+        };
         let mut shard_holders = vec![false; devices.num_devices() as usize];
         for pid in 0..parts.len() as u32 {
             shard_holders[devices.device_of(pid) as usize] = true;
@@ -207,12 +297,17 @@ impl HyTGraphSystem {
         HyTGraphSystem {
             graph: working,
             hub,
+            warm_copies: vec![None; parts.len()],
+            react_records: vec![0; parts.len()],
+            observed_iters: 0,
+            migration_log: Vec::new(),
             parts,
             devices,
             interconnect,
             shard_holders,
             sim,
             exchange_owned: vec![0u64; nd],
+            affinity,
             config,
         }
     }
@@ -242,9 +337,25 @@ impl HyTGraphSystem {
         self.parts.len()
     }
 
-    /// The static partition→device assignment.
+    /// The partition→device assignment (static unless
+    /// [`HyTGraphConfig::affine_migration`] moves partitions between
+    /// iterations).
     pub fn device_plan(&self) -> &DevicePlan {
         &self.devices
+    }
+
+    /// Every device-affine migration this system has applied, in order,
+    /// across all of its runs (empty unless
+    /// [`HyTGraphConfig::affine_migration`] is on).
+    pub fn migrations(&self) -> &[MigrationEvent] {
+        &self.migration_log
+    }
+
+    /// The device still holding a warm copy of `pid`'s edge data after a
+    /// migration moved the partition elsewhere (`None` for never-moved
+    /// partitions).
+    pub fn warm_copy_of(&self, pid: u32) -> Option<u32> {
+        self.warm_copies.get(pid as usize).copied().flatten()
     }
 
     /// The active configuration.
@@ -359,6 +470,15 @@ impl HyTGraphSystem {
                 prev.exchange.hidden = hidden;
                 prev.time -= hidden;
                 total_time -= hidden;
+            }
+            // Device-affine migration: between iterations (the only
+            // point where no iteration state is in flight) move at most
+            // one partition to the device that keeps activating it,
+            // strictly-improvement-only against the priced one-off bulk
+            // copy. The copy is charged to this run's clock; the values
+            // are untouched by construction (placement invisibility).
+            if self.config.affine_migration && self.config.selection != Selection::CpuOnly {
+                total_time += self.maybe_migrate(&frontier, bpe, layout);
             }
             if P::OBSERVES_ITERATIONS {
                 // Trajectory observers see every executed iteration's
@@ -484,10 +604,22 @@ impl HyTGraphSystem {
         // per active vertex; the selector must price that freight
         // (exact no-op for ≤ 8-byte values).
         select_params.value_surplus = layout.compaction_surplus();
-        let decisions = match cfg.selection {
-            Selection::GrusLike => grus_select(&acts, &self.parts, devices, grus_states, bpe),
-            sel => select_engines_sharded(&acts, devices, &machine.pcie, bpe, sel, &select_params),
-        };
+        let decisions =
+            match cfg.selection {
+                Selection::GrusLike => grus_select(&acts, &self.parts, devices, grus_states, bpe),
+                // Peer-served zero-copy enters Algorithm 1 as one more rung:
+                // partitions whose warm peer copy can feed their on-demand
+                // reads see Tiz scaled by the peer link's advantage. With
+                // `peer_zc` off (or no warm copies yet) the closure is
+                // constant and selection is bit-identical to the plain
+                // sharded pass.
+                sel => select_engines_sharded_by(&acts, devices, &machine.pcie, bpe, sel, |pid| {
+                    match self.peer_zc_scale_of(pid) {
+                        Some(scale) => SelectParams { peer_zc_scale: scale, ..select_params },
+                        None => select_params,
+                    }
+                }),
+            };
         let mut mix = EngineMix::default();
         let mut dev_mix = vec![EngineMix::default(); nd];
         for &(i, kind) in &decisions {
@@ -502,6 +634,7 @@ impl HyTGraphSystem {
         let next = Frontier::new(self.graph.num_vertices());
         let mut dev_tasks: Vec<Vec<SimTask>> = vec![Vec::new(); nd];
         let mut counters = TransferCounters::new();
+        let mut peer_zc_total = 0u64;
         for task in &tasks {
             let refs: Vec<&PartitionActivity> = task.members.iter().map(|&i| &acts[i]).collect();
 
@@ -533,7 +666,9 @@ impl HyTGraphSystem {
                             layout.compaction_surplus(),
                         ),
                         EngineKind::ImpZeroCopy => {
-                            let mut p = zero_copy::plan_zero_copy(machine, srefs);
+                            let (mut p, peer_bytes) =
+                                self.plan_zero_copy_peer_aware(machine, srefs);
+                            peer_zc_total += peer_bytes;
                             if cfg.selection == Selection::GrusLike {
                                 // Grus predates EMOGI's merged-and-aligned
                                 // warp access; its zero-copy path issues
@@ -645,7 +780,11 @@ impl HyTGraphSystem {
             }
             _ => 0.0,
         };
-        let exchange = ExchangeStats { hidden, ..ExchangeStats::from(&exchange_report) };
+        let exchange = ExchangeStats {
+            hidden,
+            peer_zc_bytes: peer_zc_total,
+            ..ExchangeStats::from(&exchange_report)
+        };
 
         let per_device: Vec<DeviceIterationStats> = (0..nd)
             .map(|d| DeviceIterationStats {
@@ -723,6 +862,166 @@ impl HyTGraphSystem {
         } else {
             self.interconnect.price_all_gather(owned, &self.shard_holders)
         }
+    }
+
+    /// The Tiz scale factor partition `pid` earns from a warm peer copy,
+    /// or `None` when its zero-copy reads must host-stage as usual:
+    /// peer-served zero-copy is off, the partition never migrated, it
+    /// migrated back onto its warm copy's device, or the peer link does
+    /// not actually price below the host path
+    /// ([`Interconnect::peer_read_scale`]).
+    fn peer_zc_scale_of(&self, pid: u32) -> Option<f64> {
+        if !self.config.peer_zc {
+            return None;
+        }
+        let holder = self.warm_copies.get(pid as usize).copied().flatten()?;
+        let reader = self.devices.device_of(pid);
+        if reader == holder {
+            return None;
+        }
+        self.interconnect.peer_read_scale(reader, holder)
+    }
+
+    /// Price a zero-copy slice with warm peer copies in play
+    /// (`config.peer_zc`): the merged launch's kernel time and transfer
+    /// counters are unchanged — it is still one kernel reading the same
+    /// request bytes — but the read path is re-priced per stream. The
+    /// host-staged partitions pool their TLP windows as before; each
+    /// peer-served partition prices its own stream and scales it by its
+    /// link's advantage over host staging (pricing the streams
+    /// separately is conservative: fewer requests pool per window).
+    /// Returns the plan and the request bytes that bypassed the host.
+    fn plan_zero_copy_peer_aware(
+        &self,
+        machine: &hyt_sim::MachineModel,
+        srefs: &[&PartitionActivity],
+    ) -> (TaskPlan, u64) {
+        let mut plan = zero_copy::plan_zero_copy(machine, srefs);
+        if !self.config.peer_zc {
+            return (plan, 0);
+        }
+        let mut host: Vec<&PartitionActivity> = Vec::new();
+        let mut peer: Vec<(&PartitionActivity, f64)> = Vec::new();
+        for a in srefs {
+            match self.peer_zc_scale_of(a.partition) {
+                Some(scale) => peer.push((a, scale)),
+                None => host.push(a),
+            }
+        }
+        if peer.is_empty() {
+            return (plan, 0);
+        }
+        let mut transfer = 0.0;
+        if !host.is_empty() {
+            transfer += zero_copy::plan_zero_copy(machine, &host).transfer_time;
+        }
+        let mut peer_bytes = 0u64;
+        for (a, scale) in &peer {
+            let single = zero_copy::plan_zero_copy(machine, std::slice::from_ref(a));
+            transfer += single.transfer_time * scale;
+            peer_bytes += single.counters.zero_copy_bytes;
+        }
+        plan.transfer_time = transfer;
+        (plan, peer_bytes)
+    }
+
+    /// Device-affine migration (one decision per iteration): observe
+    /// which partitions the drained iteration re-activated, and once
+    /// [`MIGRATION_MIN_OBSERVATIONS`] iterations of evidence exist, move
+    /// the single partition whose priced exchange savings over
+    /// [`MIGRATION_HORIZON_ITERS`] iterations most exceed its one-off
+    /// bulk-copy cost — strictly-improvement-only; ties keep the status
+    /// quo. Returns the copy cost charged to the run (0.0 when nothing
+    /// moves).
+    ///
+    /// The savings estimate prices the affinity coupling a move stops
+    /// (or starts) sending across the fabric, scaled by the partition's
+    /// *measured* re-activation rate so a statically-chatty but
+    /// dynamically-quiet partition never pays for a copy it won't
+    /// amortise.
+    fn maybe_migrate(&mut self, next: &Frontier, bpe: u64, layout: ValueLayout) -> f64 {
+        let nd = self.devices.num_devices();
+        if nd <= 1 {
+            return 0.0;
+        }
+        let Some(affinity) = self.affinity.as_ref() else {
+            return 0.0;
+        };
+        self.observed_iters += 1;
+        for v in next.iter() {
+            self.react_records[self.parts.owner_of(v) as usize] += 1;
+        }
+        if self.observed_iters < MIGRATION_MIN_OBSERVATIONS {
+            return 0.0;
+        }
+        // Static coupling is estimated with the narrow record; rescale to
+        // the running program's wire record so the savings and the copy
+        // are priced in the same currency.
+        let rb_ratio = layout.record_bytes() as f64 / EXCHANGE_RECORD_BYTES as f64;
+        let route = |src: u32, dst: u32, bytes: f64| {
+            if src == dst || bytes <= 0.0 {
+                0.0
+            } else {
+                self.interconnect.route_cost(src, dst, bytes as u64)
+            }
+        };
+        let mut best: Option<(f64, u32, u32, f64)> = None; // (net, pid, to, copy_cost)
+        for pid in 0..self.parts.len() as u32 {
+            if self.react_records[pid as usize] == 0 {
+                continue;
+            }
+            let here = self.devices.device_of(pid);
+            // Per-device coupling of `pid` under the current plan, and
+            // the cross-fabric cost of hosting `pid` on each candidate.
+            let coupling: Vec<u64> =
+                (0..nd).map(|e| affinity.device_coupling(pid, e, &self.devices)).collect();
+            let cost_at = |x: u32| -> f64 {
+                (0..nd)
+                    .filter(|&f| f != x)
+                    .map(|f| route(x, f, coupling[f as usize] as f64 * rb_ratio))
+                    .sum()
+            };
+            let cost_here = cost_at(here);
+            // Measured re-activation rate: observed publication records
+            // per iteration over the all-active expectation.
+            let expected = (affinity.pub_bytes(pid) / EXCHANGE_RECORD_BYTES).max(1) as f64;
+            let rate = (self.react_records[pid as usize] as f64
+                / (self.observed_iters as f64 * expected))
+                .min(1.0);
+            for to in 0..nd {
+                if to == here {
+                    continue;
+                }
+                let saving = (cost_here - cost_at(to)) * rate;
+                if saving <= 0.0 {
+                    continue;
+                }
+                let part = self.parts.get(pid);
+                let bulk =
+                    part.num_edges() * bpe + part.num_vertices() as u64 * layout.state_bytes();
+                let copy_cost = route(here, to, bulk as f64);
+                let net = saving * MIGRATION_HORIZON_ITERS - copy_cost;
+                if net > 0.0 && best.is_none_or(|(b, ..)| net > b) {
+                    best = Some((net, pid, to, copy_cost));
+                }
+            }
+        }
+        let Some((_, pid, to, copy_cost)) = best else {
+            return 0.0;
+        };
+        let from = self.devices.device_of(pid);
+        self.devices.reassign(pid, self.parts.get(pid).num_edges(), to);
+        self.warm_copies[pid as usize] = Some(from);
+        self.shard_holders.fill(false);
+        for p in 0..self.parts.len() as u32 {
+            self.shard_holders[self.devices.device_of(p) as usize] = true;
+        }
+        self.migration_log.push(MigrationEvent { partition: pid, from, to, copy_cost });
+        // Fresh evidence for the next decision: the plan just changed, so
+        // the old observations no longer describe it.
+        self.react_records.fill(0);
+        self.observed_iters = 0;
+        copy_cost
     }
 
     /// Newly-activated vertices that the already-loaded task data can

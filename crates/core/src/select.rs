@@ -66,6 +66,15 @@ pub struct SelectParams {
     /// pricing identity; the runner sets it from the live program so
     /// wide sketch values pay their true formula-(2) freight.
     pub value_surplus: u64,
+    /// Peer-served zero-copy rung: the factor formula (3)'s `Tiz` is
+    /// scaled by when this partition's on-demand reads can be served
+    /// from a warm peer copy over a direct link instead of host pinned
+    /// memory (`hyt_sim::Interconnect::peer_read_scale`). `1.0` — the
+    /// default, and whenever no warm copy exists — is an exact pricing
+    /// identity; values below 1 make the implicit engine win the
+    /// crossover more often, which is the point: a peer-fed read stream
+    /// is cheaper than the same stream through the root complex.
+    pub peer_zc_scale: f64,
 }
 
 impl Default for SelectParams {
@@ -76,6 +85,7 @@ impl Default for SelectParams {
             contention: 1.0,
             zc_contention_share: crate::cost::ZC_CONTENTION_SHARE,
             value_surplus: 0,
+            peer_zc_scale: 1.0,
         }
     }
 }
@@ -96,7 +106,10 @@ impl SelectParams {
 /// The hybrid rule for one partition (Algorithm 1 lines 4–12), applied
 /// to the contention-adjusted costs.
 pub fn choose_engine(costs: &PartitionCosts, p: &SelectParams) -> EngineKind {
-    let costs = costs.under_contention(p.contention, p.zc_contention_share);
+    let mut costs = costs.under_contention(p.contention, p.zc_contention_share);
+    // Peer-served zero-copy rung: a warm peer copy feeds the on-demand
+    // read stream over a direct link, scaling Tiz down (1.0 = no rung).
+    costs.tiz *= p.peer_zc_scale;
     if costs.tec < p.alpha * costs.tef && costs.tec < p.beta * costs.tiz {
         EngineKind::ExpCompaction
     } else if costs.tef < costs.tiz {
@@ -166,13 +179,33 @@ pub fn select_engines_sharded(
     selection: Selection,
     params: &SelectParams,
 ) -> Vec<(usize, EngineKind)> {
+    select_engines_sharded_by(acts, devices, pcie, bytes_per_edge, selection, |_| *params)
+}
+
+/// [`select_engines_sharded`] with per-partition parameters: `params_of`
+/// receives each active partition's id and returns the [`SelectParams`]
+/// its selector prices with. This is how placement-dependent rungs enter
+/// Algorithm 1 — the runner lowers
+/// [`SelectParams::peer_zc_scale`] for exactly the partitions whose warm
+/// peer copy can feed their zero-copy reads — without the stateless
+/// policies losing their global-equals-sharded property (a constant
+/// closure reproduces [`select_engines_sharded`] bit-identically).
+pub fn select_engines_sharded_by(
+    acts: &[PartitionActivity],
+    devices: &DevicePlan,
+    pcie: &PcieModel,
+    bytes_per_edge: u64,
+    selection: Selection,
+    params_of: impl Fn(u32) -> SelectParams,
+) -> Vec<(usize, EngineKind)> {
     let mut out = Vec::new();
     for d in 0..devices.num_devices() {
         for (i, a) in acts.iter().enumerate() {
             if !a.is_active() || devices.device_of(a.partition) != d {
                 continue;
             }
-            out.push((i, stateless_kind(a, pcie, bytes_per_edge, selection, params)));
+            let params = params_of(a.partition);
+            out.push((i, stateless_kind(a, pcie, bytes_per_edge, selection, &params)));
         }
     }
     out.sort_unstable_by_key(|&(i, _)| i);
@@ -318,6 +351,38 @@ mod tests {
                 assert_eq!(sharded, global, "{sel:?} with {d} devices");
             }
         }
+    }
+
+    #[test]
+    fn peer_zc_rung_flips_filter_to_zero_copy() {
+        // Filter narrowly beats zero-copy against host pinned memory…
+        let c = costs(10.0, 100.0, 12.0);
+        assert_eq!(choose_engine(&c, &SelectParams::default()), EngineKind::ExpFilter);
+        // …but a warm peer copy serving the same reads at 0.6x flips the
+        // crossover to the implicit engine.
+        let peer = SelectParams { peer_zc_scale: 0.6, ..SelectParams::default() };
+        assert_eq!(choose_engine(&c, &peer), EngineKind::ImpZeroCopy);
+        // The neutral scale is an exact identity (1.0 * tiz == tiz).
+        let neutral = SelectParams { peer_zc_scale: 1.0, ..SelectParams::default() };
+        assert_eq!(choose_engine(&c, &neutral), choose_engine(&c, &SelectParams::default()));
+    }
+
+    #[test]
+    fn sharded_by_with_constant_closure_matches_sharded() {
+        use hyt_graph::{generators, DeviceAssignment, Frontier, PartitionSet};
+        let g = generators::rmat(9, 6.0, 5, true);
+        let ps = PartitionSet::build_count(&g, 12);
+        let f = Frontier::new(g.num_vertices());
+        for v in (0..g.num_vertices()).step_by(5) {
+            f.insert(v);
+        }
+        let pcie = PcieModel::pcie3();
+        let acts = hyt_engines::analyze_partitions(&g, &ps, &f, &pcie, 4, 2);
+        let params = SelectParams::default();
+        let plan = DevicePlan::build(&ps, 4, DeviceAssignment::EdgeBalanced, 0);
+        let a = select_engines_sharded(&acts, &plan, &pcie, 4, Selection::Hybrid, &params);
+        let b = select_engines_sharded_by(&acts, &plan, &pcie, 4, Selection::Hybrid, |_| params);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -105,6 +105,13 @@ pub struct ExchangeStats {
     /// Bytes travelling on the secondary halves of batches the
     /// load-aware pass split across two disjoint peer paths.
     pub split_bytes: u64,
+    /// Zero-copy request bytes served over a direct peer link from a
+    /// migrated partition's warm copy instead of host-staging through
+    /// the root complex (`config.peer_zc`; zero unless a migration left
+    /// a warm copy and the peer link priced below the host path). These
+    /// bytes also appear in the iteration's `zero_copy_bytes` transfer
+    /// counter — this column records which of them bypassed the host.
+    pub peer_zc_bytes: u64,
 }
 
 impl ExchangeStats {
@@ -126,6 +133,7 @@ impl ExchangeStats {
         self.forwarded_bytes += other.forwarded_bytes;
         self.rerouted_bytes += other.rerouted_bytes;
         self.split_bytes += other.split_bytes;
+        self.peer_zc_bytes += other.peer_zc_bytes;
     }
 }
 
@@ -143,6 +151,7 @@ impl From<&hyt_sim::ExchangeReport> for ExchangeStats {
             forwarded_bytes: r.forwarded_bytes,
             rerouted_bytes: r.rerouted_bytes,
             split_bytes: r.split_bytes,
+            peer_zc_bytes: 0,
         }
     }
 }

@@ -14,6 +14,9 @@
 //! * [`datasets`] — deterministic scaled-down proxies of the paper's five
 //!   real-world graphs (SK, TW, FK, UK, FS) plus the RMAT sweep of Fig. 9.
 //! * [`partition`] — chunk-based edge-balanced partitioning (Section IV).
+//! * [`placement`] — cost-driven topology-aware partition→device
+//!   placement: the affinity matrix from the CSR cut structure and a
+//!   priced greedy + local-search planner.
 //! * [`hub_sort`] — hub gathering by `H(v) = Do·Di / (Domax·Dimax)`
 //!   (Section VI-A, formula 4).
 //! * [`frontier`] — atomic bitmap frontiers with dense/sparse iteration.
@@ -30,6 +33,7 @@ pub mod generators;
 pub mod hub_sort;
 pub mod io;
 pub mod partition;
+pub mod placement;
 
 pub use csr::{Csr, CsrBuilder};
 pub use datasets::{Dataset, DatasetId};
@@ -39,6 +43,7 @@ pub use frontier::Frontier;
 pub use generators::GraphBuilder;
 pub use hub_sort::{hub_sort, HubSortResult};
 pub use partition::{DeviceAssignment, DevicePlan, Partition, PartitionSet};
+pub use placement::{placement_score, plan_cost_driven, AffinityMatrix, PlacementPricer};
 
 /// Vertex identifier. The paper assumes 4-byte vertex ids (`d1 = 4`), and so
 /// do we: all cost-model arithmetic uses `size_of::<VertexId>()`.

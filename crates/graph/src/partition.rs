@@ -168,6 +168,20 @@ pub enum DeviceAssignment {
     /// Falls back to [`DeviceAssignment::EdgeBalanced`] when the graph was
     /// not hub-sorted (no hub prefix).
     HubAware,
+    /// Cost-driven: placements are *priced*, not positional. The planner
+    /// ([`crate::placement::plan_cost_driven`]) scores candidate
+    /// assignments with the partition-affinity matrix (expected exchange
+    /// bytes between partition pairs, from the CSR cut structure) priced
+    /// through the interconnect's routed transfer costs, seeds greedily
+    /// and refines with bounded strict-improvement swaps. On a uniform
+    /// fabric — host-only, or identical links everywhere — every
+    /// placement prices the same, so the planner returns the
+    /// [`DeviceAssignment::EdgeBalanced`] plan bit-identically.
+    ///
+    /// [`DevicePlan::build`] has no interconnect to price against, so it
+    /// also resolves this variant to the edge-balanced seed; the routed
+    /// refinement happens wherever a pricer is available (the runner).
+    CostDriven,
 }
 
 /// A static assignment of every partition to one of `D` simulated devices.
@@ -190,6 +204,20 @@ impl DevicePlan {
     /// `assignment`. `num_hub_vertices` is the length of the hub-sorted
     /// prefix of the vertex id space (0 when the graph is not hub-sorted);
     /// only [`DeviceAssignment::HubAware`] reads it.
+    /// [`DeviceAssignment::CostDriven`] resolves to the edge-balanced
+    /// seed here (see its docs); the routed refinement needs a pricer.
+    ///
+    /// # More devices than partitions
+    ///
+    /// With `num_devices > parts.len()` there is not enough work to go
+    /// around: both positional policies fill devices from the low ids up
+    /// (least-loaded ties break to the lowest id; the hub deal starts at
+    /// device 0), so the spare `num_devices − parts.len()` **highest**
+    /// device ids end the build owning no partition and carrying zero
+    /// load. Spares stay priced out of the run — the runner excludes
+    /// devices without a shard from the exchange — but they still size
+    /// the interconnect and split the per-device edge budget. A debug
+    /// assertion holds the build to this shape.
     pub fn build(
         parts: &PartitionSet,
         num_devices: u32,
@@ -215,7 +243,50 @@ impl DevicePlan {
             plan.device_of[p.id as usize] = dev;
             plan.loads[dev as usize] += p.num_edges();
         }
+        debug_assert!(
+            plan.device_of.iter().all(|&dev| (dev as usize) < parts.len().min(d as usize)),
+            "positional assignment must fill devices from the low ids: only the \
+             highest {} device id(s) may be left idle",
+            (d as usize).saturating_sub(parts.len())
+        );
         plan
+    }
+
+    /// Wrap an explicit `device_of` assignment (one entry per partition,
+    /// every device id `< num_devices`) into a plan, deriving the
+    /// per-device edge loads. This is the constructor for priced planners
+    /// ([`crate::placement::plan_cost_driven`]) whose assignments are not
+    /// positional.
+    pub fn from_assignment(
+        parts: &PartitionSet,
+        num_devices: u32,
+        device_of: Vec<u32>,
+    ) -> DevicePlan {
+        let d = num_devices.max(1);
+        assert_eq!(device_of.len(), parts.len(), "one device per partition");
+        let mut loads = vec![0u64; d as usize];
+        for p in parts.partitions() {
+            let dev = device_of[p.id as usize];
+            assert!(dev < d, "partition {} assigned to device {dev} of {d}", p.id);
+            loads[dev as usize] += p.num_edges();
+        }
+        DevicePlan { num_devices: d, device_of, loads }
+    }
+
+    /// Move partition `pid` (with `num_edges` edges) to `device`,
+    /// updating the per-device loads. This is the migration primitive:
+    /// placement is otherwise static, and callers own the invariant that
+    /// a reassignment happens only at an iteration barrier (where
+    /// placement cannot change computed values).
+    pub fn reassign(&mut self, pid: u32, num_edges: u64, device: u32) {
+        assert!(device < self.num_devices, "device {device} of {}", self.num_devices);
+        let old = self.device_of[pid as usize];
+        if old == device {
+            return;
+        }
+        self.loads[old as usize] -= num_edges;
+        self.loads[device as usize] += num_edges;
+        self.device_of[pid as usize] = device;
     }
 
     /// A trivial single-device plan (every partition on device 0).
@@ -419,5 +490,76 @@ mod tests {
         let plan = DevicePlan::build(&ps, 8, DeviceAssignment::EdgeBalanced, 0);
         assert_eq!(plan.device_of(0), 0);
         assert_eq!((1..8).map(|d| plan.load(d)).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn spare_devices_are_the_highest_ids_under_every_policy() {
+        // Documented behaviour for num_devices > partitions.len(): the
+        // low device ids are filled first, the spare top ids own nothing
+        // and carry zero load — for both positional policies and for the
+        // pricer-less CostDriven fallback.
+        let g = generators::rmat(8, 6.0, 2, true);
+        let ps = PartitionSet::build_count(&g, 3);
+        let n = ps.len() as u32;
+        let d = n + 5;
+        for assignment in [
+            DeviceAssignment::EdgeBalanced,
+            DeviceAssignment::HubAware,
+            DeviceAssignment::CostDriven,
+        ] {
+            let plan = DevicePlan::build(&ps, d, assignment, ps.get(0).end_vertex);
+            for p in 0..n {
+                assert!(plan.device_of(p) < n, "{assignment:?} assigned past the partition count");
+            }
+            for spare in n..d {
+                assert_eq!(plan.load(spare), 0, "{assignment:?} loaded spare device {spare}");
+                assert!(plan.partitions_on(spare).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn cost_driven_without_pricer_equals_edge_balanced() {
+        let g = generators::rmat(9, 6.0, 7, false);
+        let ps = PartitionSet::build_count(&g, 12);
+        let a = DevicePlan::build(&ps, 4, DeviceAssignment::CostDriven, 0);
+        let b = DevicePlan::build(&ps, 4, DeviceAssignment::EdgeBalanced, 0);
+        for p in 0..ps.len() as u32 {
+            assert_eq!(a.device_of(p), b.device_of(p));
+        }
+    }
+
+    #[test]
+    fn reassign_moves_load_with_the_partition() {
+        let g = generators::rmat(9, 6.0, 3, true);
+        let ps = PartitionSet::build_count(&g, 8);
+        let mut plan = DevicePlan::build(&ps, 4, DeviceAssignment::EdgeBalanced, 0);
+        let pid = 0u32;
+        let edges = ps.get(pid).num_edges();
+        let from = plan.device_of(pid);
+        let to = (from + 1) % 4;
+        let (load_from, load_to) = (plan.load(from), plan.load(to));
+        plan.reassign(pid, edges, to);
+        assert_eq!(plan.device_of(pid), to);
+        assert_eq!(plan.load(from), load_from - edges);
+        assert_eq!(plan.load(to), load_to + edges);
+        // Moving to the current owner is a no-op.
+        plan.reassign(pid, edges, to);
+        assert_eq!(plan.load(to), load_to + edges);
+        let total: u64 = (0..4).map(|d| plan.load(d)).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn from_assignment_derives_loads() {
+        let g = generators::rmat(9, 6.0, 5, false);
+        let ps = PartitionSet::build_count(&g, 6);
+        let device_of: Vec<u32> = (0..ps.len() as u32).map(|p| p % 3).collect();
+        let plan = DevicePlan::from_assignment(&ps, 3, device_of.clone());
+        for (p, &dev) in device_of.iter().enumerate() {
+            assert_eq!(plan.device_of(p as u32), dev);
+        }
+        let total: u64 = (0..3).map(|d| plan.load(d)).sum();
+        assert_eq!(total, g.num_edges());
     }
 }

@@ -872,6 +872,55 @@ impl Interconnect {
         self.links[link].rate.transfer_time(bytes)
     }
 
+    /// Does every ordered device pair price identically at every route
+    /// breakpoint? On such a fabric — host-only (every pair stages through
+    /// the one root complex), or a clique of identical links — no
+    /// placement can be cheaper than any other as far as pair routing is
+    /// concerned, so cost-driven placement planners short-circuit to
+    /// their positional seed and stay bit-identical to it. The comparison
+    /// is exact (`==` on the priced f64): pairs on a uniform fabric run
+    /// the identical arithmetic, so no tolerance is needed.
+    pub fn is_uniform_fabric(&self) -> bool {
+        if self.num_devices <= 2 {
+            // 0 or 1 devices route nothing; 2 devices have one ordered
+            // pair per direction and both directions share one link spec.
+            return true;
+        }
+        for &probe in &self.breakpoints {
+            let reference = self.route_cost(0, 1, probe);
+            for src in 0..self.num_devices as u32 {
+                for dst in 0..self.num_devices as u32 {
+                    if src != dst && self.route_cost(src, dst, probe) != reference {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Peer-served zero-copy rung: the factor by which serving `reader`'s
+    /// on-demand zero-copy reads from a warm copy held by `holder` (over
+    /// their direct peer link) scales formula (3)'s host-staged `Tiz`.
+    ///
+    /// The zero-copy engine's baseline reads pinned *host* memory through
+    /// the root complex; when the two devices share a direct NVLink-class
+    /// link that moves the same bytes faster, the read stream can be
+    /// served peer-to-peer instead and `Tiz` shrinks by the ratio of the
+    /// two links' bulk transfer times. `None` when there is no direct
+    /// link or the link is no faster than host staging (the rung only
+    /// ever *improves* the crossover, mirroring the strict-improvement
+    /// routing passes).
+    pub fn peer_read_scale(&self, reader: u32, holder: u32) -> Option<f64> {
+        if reader == holder {
+            return None;
+        }
+        let link = self.peer_link(reader, holder)?;
+        let peer = self.transfer_time(link, ROUTE_PROBE_BYTES);
+        let host = self.transfer_time(HOST_LINK, ROUTE_PROBE_BYTES);
+        (peer < host && host > 0.0).then(|| peer / host)
+    }
+
     /// The endpoint of peer link `link` that is not `device`.
     fn other_end(&self, link: usize, device: u32) -> u32 {
         let (a, b) = self.links[link].endpoints.expect("peer link has endpoints");
