@@ -214,6 +214,7 @@ impl VertexProgram for HyperBall {
     fn observe_iteration(&self, iteration: u32, values: &[HllSketch]) {
         // After iteration i every sketch holds its radius-(i+1) ball.
         let t = (iteration + 1) as f64;
+        // hyt-lint: allow(unwrap-in-lib) -- a poisoned trajectory means an observer panicked mid-update and the running sums are inconsistent; propagate the panic
         let mut traj = self.trajectory.lock().expect("trajectory poisoned");
         let mut total = 0.0;
         for (v, sketch) in values.iter().enumerate() {
@@ -266,6 +267,7 @@ pub fn run_hyperball(graph: Csr, config: HyTGraphConfig) -> HyperBallResult {
     let program = HyperBall::new(graph.num_vertices());
     let mut sys = HyTGraphSystem::new(graph, config);
     let run = sys.run(&program);
+    // hyt-lint: allow(unwrap-in-lib) -- same poisoning contract as observe_iteration: inconsistent sums must not be reported as results
     let traj = program.trajectory.into_inner().expect("trajectory poisoned");
     let closeness =
         traj.sum_of_distances.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 }).collect();

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Graph algorithms as HyTGraph vertex programs.
 //!
 //! The paper evaluates four algorithms spanning both behavioural families

@@ -62,11 +62,13 @@ fn main() {
     }
     let mut ctx = Ctx::new();
     for name in selected {
+        // hyt-lint: allow(unwrap-in-lib) -- every name in `selected` was membership-checked against `experiments` above (unknown names exit 2)
         let e = experiments.iter().find(|e| e.name == name).unwrap();
         let start = Instant::now();
         eprintln!(">> running {name}: {}", e.about);
         let tables = (e.run)(&mut ctx);
         if json {
+            // hyt-lint: allow(unwrap-in-lib) -- Table derives Serialize with no custom impls; serialisation cannot fail
             println!("{}", serde_json::to_string_pretty(&tables).expect("tables serialise"));
         } else {
             for table in &tables {

@@ -120,12 +120,9 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         for i in 0..iters {
             let w = (0..runs.len())
                 .min_by(|&a, &b| {
-                    runs[a].per_iteration[i]
-                        .time
-                        .partial_cmp(&runs[b].per_iteration[i].time)
-                        .unwrap()
+                    runs[a].per_iteration[i].time.total_cmp(&runs[b].per_iteration[i].time)
                 })
-                .unwrap();
+                .unwrap_or(0);
             winners.insert(w);
         }
         out.push(CheckResult::new(
@@ -800,20 +797,68 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         let study = crate::experiments::placement::migration_study(5);
         let identical = study.iter().all(|r| r.identical);
         let moves = study.last().map_or(0, |r| r.migrations);
-        let last = study.last().expect("study ran");
+        let (affine_cum, static_cum) =
+            study.last().map_or((f64::INFINITY, 0.0), |r| (r.affine_cum, r.static_cum));
         let break_even = study.iter().find(|r| r.affine_cum < r.static_cum).map(|r| r.run);
         out.push(CheckResult::new(
             "Affine migration: priced copy up front, cumulative makespan crosses below static",
-            identical && moves > 0 && last.affine_cum < last.static_cum,
+            identical && moves > 0 && affine_cum < static_cum,
             format!(
                 "{moves} migration(s) over {} resident runs; cumulative {:.3}ms affine vs \
                  {:.3}ms static (break-even at run {:?}); values identical every run: {identical}",
                 study.len(),
-                last.affine_cum * 1e3,
-                last.static_cum * 1e3,
+                affine_cum * 1e3,
+                static_cum * 1e3,
                 break_even
             ),
         ));
+    }
+
+    // Interleaving checker, faithful model: the DFS explorer genuinely
+    // branches over the canonical 2-thread × 3-op wide-value scenario
+    // (at least the 20 = C(6,3) op-level thread orderings) and finds no
+    // violation of invariants V1/V2/V4/V5 (crates/core/src/api.rs,
+    // "Numbered invariants") on any schedule.
+    {
+        use hyt_lint::interleave::{explore, Mutation, Scenario};
+        let sc = Scenario::wide_contract();
+        match explore(&sc) {
+            Ok(stats) => out.push(CheckResult::new(
+                "Interleave checker: wide-value contract holds on every bounded schedule",
+                stats.schedules >= 20,
+                format!(
+                    "{} schedules, {} states, {} micro-steps explored; zero violations of \
+                     V1/V2/V4/V5",
+                    stats.schedules, stats.states, stats.steps
+                ),
+            )),
+            Err(v) => out.push(CheckResult::new(
+                "Interleave checker: wide-value contract holds on every bounded schedule",
+                false,
+                format!("{} violated: {}", v.invariant, v.detail),
+            )),
+        }
+
+        // Seeded bug: the same scenario with the stripe lock skipped
+        // must be caught (V2 lost/torn update or V4 exclusion breach)
+        // in under 1000 schedules — the checker has teeth.
+        let mut broken = sc;
+        broken.mutation = Mutation::SkipStripeLock;
+        match explore(&broken) {
+            Err(v) => out.push(CheckResult::new(
+                "Interleave checker: stripe-lock-skipped store model is caught quickly",
+                (v.invariant == "V2" || v.invariant == "V4") && v.schedules_before < 1000,
+                format!(
+                    "{} violated after {} schedules: {}",
+                    v.invariant, v.schedules_before, v.detail
+                ),
+            )),
+            Ok(stats) => out.push(CheckResult::new(
+                "Interleave checker: stripe-lock-skipped store model is caught quickly",
+                false,
+                format!("broken model passed {} schedules undetected", stats.schedules),
+            )),
+        }
     }
 
     out

@@ -65,7 +65,7 @@ pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
     ]);
     let top = |h: &[f64]| {
         let mut idx: Vec<usize> = (0..h.len()).collect();
-        idx.sort_by(|&a, &b| h[b].partial_cmp(&h[a]).unwrap().then(a.cmp(&b)));
+        idx.sort_by(|&a, &b| h[b].total_cmp(&h[a]).then(a.cmp(&b)));
         idx[0]
     };
     t.row(vec![

@@ -271,6 +271,7 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
             eprintln!("   (smoke mode: regression diff is advisory only)");
         }
     }
+    // hyt-lint: allow(unwrap-in-lib) -- Baseline derives Serialize with no custom impls; serialisation cannot fail
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serialises");
     match std::fs::write(&path, json + "\n") {
         Ok(()) => eprintln!("   wrote {} records to {path}", baseline.records.len()),

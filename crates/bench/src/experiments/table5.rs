@@ -31,6 +31,7 @@ pub fn run(ctx: &mut Ctx) -> Vec<Table> {
             }
             grid.push((system, times_row));
         }
+        // hyt-lint: allow(unwrap-in-lib) -- the grid is built from SystemKind::ALL, which always contains HyTGraph
         let hyt = grid.iter().find(|(s, _)| *s == SystemKind::HyTGraph).unwrap().1.clone();
         for (system, times_row) in &grid {
             t.row(

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! The evaluation harness: one runner per table and figure of the paper.
 //!
 //! Every experiment of Section VII (plus Tables I/II from the front

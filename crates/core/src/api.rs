@@ -95,6 +95,36 @@
 //! cross-lane tearing or take the writers' stripes; the runner itself
 //! never needs to. `tests::snapshots` holds both halves of this
 //! contract under deliberate cross-thread hammering.
+//!
+//! ## Numbered invariants (checked by the interleaving explorer)
+//!
+//! The contract above decomposes into five machine-checked invariants.
+//! `hyt_lint::interleave` models this store as an explicit state machine
+//! and exhaustively explores every bounded thread interleaving of its
+//! micro-steps; each assertion there cites one of these numbers, as does
+//! `tests/interleave.rs` in this crate. Keep the numbering stable — it
+//! is the cross-reference key between this contract, the checker, and
+//! the repro claims.
+//!
+//! * **V1 — per-lane atomicity.** Every lane a read observes was
+//!   committed by some completed or in-flight store of that exact lane
+//!   value (or is the initial state); no out-of-thin-air or partial-lane
+//!   bytes, under every interleaving.
+//! * **V2 — quiesced exactness.** Once all writers have finished, every
+//!   value equals the merge-fold of its initial state with all messages
+//!   delivered to it — no lost updates and no residual tearing survive
+//!   quiescence.
+//! * **V3 — single-lane CAS linearizability.** For `LANES == 1`, each
+//!   successful compare-and-swap merge is an atomic point: the final
+//!   value is the fold of *all* messages, for every schedule of the
+//!   lock-free retry loop.
+//! * **V4 — stripe mutual exclusion.** Two wide RMWs on vertices that
+//!   hash to the same stripe never interleave their
+//!   load-merge-store micro-steps; the second observes the first's
+//!   complete write.
+//! * **V5 — merge schedule-independence.** The fold is commutative and
+//!   idempotent lane-wise, so every explored schedule that delivers the
+//!   same message multiset quiesces to the same state (bit-identical).
 
 use hyt_graph::{VertexId, Weight};
 use serde::Serialize;
@@ -546,8 +576,9 @@ impl<V: VertexValue> Values<V> {
 
     /// Wide-value read-modify-write under the vertex's mutex stripe.
     fn update_wide(&self, v: VertexId, mut f: impl FnMut(V) -> Option<V>) -> Option<(V, V)> {
-        let _guard =
-            self.locks[v as usize % self.locks.len()].lock().expect("value stripe poisoned");
+        let stripe = &self.locks[v as usize % self.locks.len()];
+        // hyt-lint: allow(unwrap-in-lib) -- a poisoned stripe means a writer panicked mid-RMW and the lanes may be torn (V2); propagating the panic is the only safe read
+        let _guard = stripe.lock().expect("value stripe poisoned");
         let old = self.read_lanes(v);
         let new = f(old)?;
         self.write_lanes(v, new);

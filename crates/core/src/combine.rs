@@ -35,7 +35,7 @@ pub fn combine_tasks(
     k: usize,
     combining: bool,
 ) -> Vec<CombinedTask> {
-    combine_tasks_sized(decisions, k, combining, 8)
+    combine_tasks_sized(decisions, k, combining, crate::ValueLayout::narrow().lane_bytes())
 }
 
 /// Combine per-partition engine decisions into scheduling units.
@@ -57,7 +57,8 @@ pub fn combine_tasks_sized(
     combining: bool,
     lane_bytes: u64,
 ) -> Vec<CombinedTask> {
-    let k = ((k as u64 * 8) / lane_bytes.max(1)).max(1) as usize;
+    let narrow_lane = crate::ValueLayout::narrow().lane_bytes();
+    let k = ((k as u64 * narrow_lane) / lane_bytes.max(1)).max(1) as usize;
     if !combining {
         return decisions
             .iter()

@@ -76,6 +76,7 @@ impl PartitionCosts {
 /// Compute formulas (1)–(3) for one partition's activity snapshot with
 /// the narrow (≤ 8-byte-value) per-vertex payload — the exact historical
 /// pricing. See [`partition_costs_sized`] for wide-value programs.
+#[must_use = "partition costs drive filter/compaction/zero-copy selection; dropping them skips the decision"]
 pub fn partition_costs(
     act: &PartitionActivity,
     pcie: &PcieModel,
@@ -100,6 +101,7 @@ pub fn partition_costs(
 /// narrow program (exact identity with [`partition_costs`]); for
 /// sketch-width values it is what can flip a compaction win to
 /// zero-copy.
+#[must_use = "partition costs drive filter/compaction/zero-copy selection; dropping them skips the decision"]
 pub fn partition_costs_sized(
     act: &PartitionActivity,
     pcie: &PcieModel,

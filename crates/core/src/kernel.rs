@@ -94,10 +94,12 @@ pub fn run_kernel<P: VertexProgram>(
             .collect();
         let mut total = KernelStats::default();
         for h in handles {
+            // hyt-lint: allow(unwrap-in-lib) -- a panicked scatter worker has already lost updates; re-raising its panic is the correct propagation
             total.merge(&h.join().expect("kernel worker panicked"));
         }
         total
     })
+    // hyt-lint: allow(unwrap-in-lib) -- crossbeam scope errs only when a child panicked, which the join above already re-raises
     .expect("kernel scope failed")
 }
 

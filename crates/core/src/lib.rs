@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! HyTGraph core: hybrid transfer management with cost-aware task
 //! generation and contribution-driven asynchronous scheduling.
 //!

@@ -455,11 +455,11 @@ impl HyTGraphSystem {
             // exposed — both run endings (frontier drain and the
             // max_iterations cap) leave the last record's hidden at 0
             // by construction.
-            if self.config.overlap_exchange
-                && self.config.overlap_window == OverlapWindow::Measured
-                && per_iteration.len() >= 2
-            {
-                let cur = per_iteration.last().unwrap();
+            if let Some(cur) = per_iteration.last().filter(|_| {
+                self.config.overlap_exchange
+                    && self.config.overlap_window == OverlapWindow::Measured
+                    && per_iteration.len() >= 2
+            }) {
                 let window = analysis_span(
                     self.config.machine.pcie.copy_latency,
                     cur.active_partitions,

@@ -392,6 +392,9 @@ impl<B: SessionBackend> SessionService<B> {
         // stay valid, then restore their FIFO order.
         let mut followers = Vec::with_capacity(width - 1);
         for &i in compat[..width - 1].iter().rev() {
+            // Invariant: `compat` indexes the deque we just enumerated,
+            // and back-to-front removal keeps earlier indices valid.
+            // hyt-lint: allow(unwrap-in-lib) -- compat indexes the deque enumerated above; back-to-front removal keeps them in bounds
             let p = self.admitted.remove(i).expect("compat index in bounds");
             self.admitted_cost -= p.quote.sweep_rtt;
             followers.push(p);
@@ -460,13 +463,15 @@ impl<B: SessionBackend> SessionService<B> {
     /// Promote overflow entries into the admitted pool while the budget
     /// allows, FIFO.
     fn promote(&mut self) {
-        while let Some(p) = self.waiting.front() {
-            if self.admitted_cost + p.quote.sweep_rtt > self.config.admission_budget {
-                break;
+        while self
+            .waiting
+            .front()
+            .is_some_and(|p| self.admitted_cost + p.quote.sweep_rtt <= self.config.admission_budget)
+        {
+            if let Some(p) = self.waiting.pop_front() {
+                self.admitted_cost += p.quote.sweep_rtt;
+                self.admitted.push_back(p);
             }
-            let p = self.waiting.pop_front().expect("front exists");
-            self.admitted_cost += p.quote.sweep_rtt;
-            self.admitted.push_back(p);
         }
     }
 }

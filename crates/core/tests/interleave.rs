@@ -1,0 +1,94 @@
+//! Deterministic interleaving checks for the `Values<V>` snapshot
+//! consistency contract.
+//!
+//! Each test cites one of the numbered invariants **V1–V5** from the
+//! *Snapshot consistency contract* section of `src/api.rs`. The checker
+//! (`hyt_lint::interleave`) models the striped store as an explicit
+//! state machine and DFS-explores every interleaving of its micro-steps
+//! over bounded scenarios — a schedule-exhaustive complement to the
+//! wall-clock hammering in `api::tests::snapshots`. The seeded-bug
+//! tests then break the model on purpose and require the explorer to
+//! catch the break, so a pass means "the invariants hold *and* the
+//! checker can tell when they don't".
+
+use hyt_lint::interleave::{explore, Mutation, Op, Scenario};
+
+/// V1, V2, V4, V5 over the canonical wide scenario: 2 threads × 3 ops
+/// on two 2-lane vertices sharing a stripe. Every interleaving must
+/// read only committed lanes (V1), quiesce to the exact max-fold (V2 +
+/// V5), and serialise same-stripe RMWs (V4).
+#[test]
+fn wide_contract_holds_on_every_schedule() {
+    let stats = explore(&Scenario::wide_contract())
+        .unwrap_or_else(|v| panic!("{} violated: {}", v.invariant, v.detail));
+    // The explorer must genuinely branch: at least the 20 = C(6,3)
+    // op-level thread orderings of 2 independent threads × 3 ops (each
+    // maps to a distinct explored schedule prefix or more).
+    assert!(stats.schedules >= 20, "suspiciously few schedules: {stats:?}");
+    assert!(stats.states > 0 && stats.steps > stats.states, "bookkeeping looks wrong: {stats:?}");
+}
+
+/// V3 over the canonical single-lane scenario: 3 threads CAS-fold
+/// maxima into one cell. Every schedule of the retry loop must
+/// linearise to the fold of all messages.
+#[test]
+fn cas_contract_holds_on_every_schedule() {
+    let stats = explore(&Scenario::cas_contract())
+        .unwrap_or_else(|v| panic!("{} violated: {}", v.invariant, v.detail));
+    assert!(stats.schedules >= 20, "suspiciously few schedules: {stats:?}");
+}
+
+/// V5 directly: permuting which thread carries which message must not
+/// change the quiesced state the explorer verifies against (the
+/// expected fold is schedule- and assignment-independent).
+#[test]
+fn merge_is_assignment_independent() {
+    let mut swapped = Scenario::wide_contract();
+    swapped.threads.swap(0, 1);
+    explore(&swapped).unwrap_or_else(|v| panic!("{} violated: {}", v.invariant, v.detail));
+}
+
+/// Seeded bug #1: a wide RMW that skips the stripe lock. Some
+/// interleaving must lose an update or tear a read-modify-write, and
+/// the explorer must find it quickly (V2 or V4).
+#[test]
+fn skipped_stripe_lock_is_caught() {
+    let mut sc = Scenario::wide_contract();
+    sc.mutation = Mutation::SkipStripeLock;
+    let v = explore(&sc).expect_err("lock-skipping model must violate the contract");
+    assert!(
+        v.invariant == "V2" || v.invariant == "V4",
+        "expected V2/V4, got {} ({})",
+        v.invariant,
+        v.detail
+    );
+    assert!(v.schedules_before < 1000, "took {} schedules to catch", v.schedules_before);
+}
+
+/// Seeded bug #2: single-lane update via blind load-then-store instead
+/// of CAS. A racing schedule must lose a fold, and V3 must catch it.
+#[test]
+fn blind_cas_is_caught() {
+    let mut sc = Scenario::cas_contract();
+    sc.mutation = Mutation::CasWithoutCompare;
+    let v = explore(&sc).expect_err("compare-free model must violate the contract");
+    assert_eq!(v.invariant, "V3", "expected V3, got {} ({})", v.invariant, v.detail);
+    assert!(v.schedules_before < 1000, "took {} schedules to catch", v.schedules_before);
+}
+
+/// V1 under read pressure: a reader-heavy wide scenario where every
+/// observed lane must still be a committed (or in-flight-committed)
+/// per-lane value even while two writers race the same vertex.
+#[test]
+fn readers_never_see_out_of_thin_air_lanes() {
+    let sc = Scenario {
+        lanes: 2,
+        vertices: 1,
+        threads: vec![
+            vec![Op::WideMerge { v: 0, msg: vec![8, 1] }, Op::WideMerge { v: 0, msg: vec![2, 9] }],
+            vec![Op::Read { v: 0 }, Op::Read { v: 0 }, Op::Read { v: 0 }],
+        ],
+        mutation: Mutation::None,
+    };
+    explore(&sc).unwrap_or_else(|v| panic!("{} violated: {}", v.invariant, v.detail));
+}

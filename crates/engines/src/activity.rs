@@ -84,10 +84,12 @@ pub fn analyze_partitions(
             .collect();
         let mut out = Vec::with_capacity(n);
         for h in handles {
+            // hyt-lint: allow(unwrap-in-lib) -- a panicked analysis worker leaves partitions unpriced; re-raising its panic is the correct propagation
             out.extend(h.join().expect("activity analysis worker panicked"));
         }
         out
     })
+    // hyt-lint: allow(unwrap-in-lib) -- crossbeam scope errs only when a child panicked, which the join above already re-raises
     .expect("activity analysis scope failed")
 }
 

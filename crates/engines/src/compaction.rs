@@ -74,10 +74,12 @@ pub fn compact(graph: &Csr, active: &[VertexId], threads: usize) -> CompactedSub
     // Prefix-sum the output layout first.
     let mut offsets = Vec::with_capacity(n + 1);
     offsets.push(0u64);
+    let mut running = 0u64;
     for &v in active {
-        offsets.push(offsets.last().unwrap() + graph.out_degree(v));
+        running += graph.out_degree(v);
+        offsets.push(running);
     }
-    let total = *offsets.last().unwrap() as usize;
+    let total = running as usize;
     let mut col_index = vec![0 as VertexId; total];
     let mut weights = graph.weights().map(|_| vec![0 as Weight; total]);
 
@@ -107,6 +109,7 @@ pub fn compact(graph: &Csr, active: &[VertexId], threads: usize) -> CompactedSub
             });
         }
     })
+    // hyt-lint: allow(unwrap-in-lib) -- crossbeam scope errs only when a gather worker panicked; the subgraph would be incomplete, so re-raise
     .expect("compaction worker panicked");
 
     CompactedSubgraph { vertices: active.to_vec(), offsets, col_index, weights }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! The four host→GPU transfer engines (Section II-B/C of the paper).
 //!
 //! An engine answers one question per scheduled task: *how do the active

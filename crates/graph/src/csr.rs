@@ -120,6 +120,7 @@ impl Csr {
     /// Panics if the graph is unweighted.
     #[inline]
     pub fn weights_of(&self, v: VertexId) -> &[Weight] {
+        // hyt-lint: allow(unwrap-in-lib) -- documented caller contract: this accessor panics on unweighted graphs (see doc comment)
         let w = self.weights.as_ref().expect("graph is unweighted");
         &w[self.neighbor_range(v)]
     }

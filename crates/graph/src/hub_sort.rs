@@ -105,6 +105,7 @@ pub fn hub_sort_with_fraction(graph: &Csr, fraction: f64) -> HubSortResult {
     for (new, &old) in inv.iter().enumerate() {
         perm[old as usize] = new as VertexId;
     }
+    // hyt-lint: allow(unwrap-in-lib) -- perm is built one entry per vertex from a partition of 0..nv, so it is a valid permutation by construction
     let relabelled = graph.relabel(&perm).expect("hub permutation is valid");
     HubSortResult { graph: relabelled, perm, inv, num_hubs: num_hubs as u32 }
 }

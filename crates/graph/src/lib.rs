@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Graph substrate for HyTGraph-RS.
 //!
 //! Everything the transfer-management layers sit on top of lives here:

@@ -333,6 +333,7 @@ pub fn placement_score(
 /// priced worse than [`DeviceAssignment::EdgeBalanced`] under the same
 /// pricer, and exactly equal to it on uniform fabrics, at `D = 1`, or
 /// past [`AFFINITY_DENSE_CAP`] partitions.
+#[must_use = "a placement plan has no effect until applied; dropping it wastes the search"]
 pub fn plan_cost_driven(
     parts: &PartitionSet,
     num_devices: u32,

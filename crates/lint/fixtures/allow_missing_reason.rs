@@ -1,0 +1,13 @@
+//@path crates/core/src/session.rs
+/// BAD twice over: the annotation has no `-- <reason>`, so it is itself
+/// a finding, and it silences nothing — the unwrap still fires.
+pub fn head(q: &mut Vec<u32>) -> u32 {
+    // hyt-lint: allow(unwrap-in-lib)
+    q.pop().unwrap()
+}
+
+/// An unknown lint name is also rejected.
+pub fn tail(q: &mut Vec<u32>) -> u32 {
+    // hyt-lint: allow(no-such-lint) -- never mind
+    q.pop().unwrap()
+}

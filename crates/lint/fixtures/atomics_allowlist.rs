@@ -1,0 +1,13 @@
+//@path crates/sim/src/pcie.rs
+use std::sync::atomic::AtomicU64;
+
+/// BAD: private atomics outside the owner files hide synchronisation
+/// from the `Values`/`priority`/`frontier` contracts.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// `cmp::Ordering` variants are not memory orderings — no finding.
+pub fn later(a: u64, b: u64) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

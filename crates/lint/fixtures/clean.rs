@@ -1,0 +1,14 @@
+//@path crates/core/src/cost.rs
+/// Narrow record wire size, in bytes (mirrors `ValueLayout::record_bytes`).
+pub const NARROW_RECORD_BYTES: u64 = 12;
+
+/// Price `records` narrow records on the wire.
+pub fn wire_bytes(records: u64) -> u64 {
+    records * NARROW_RECORD_BYTES
+}
+
+/// Pop the head ticket.
+pub fn head(q: &mut Vec<u32>) -> u32 {
+    // hyt-lint: allow(unwrap-in-lib) -- the session keeps the queue non-empty between promote() calls
+    q.pop().unwrap()
+}

@@ -1,0 +1,15 @@
+//@path crates/core/src/select.rs
+/// BAD: exact float equality on priced times is a portability trap.
+pub fn tie(filter_cost: f64, zc_cost: f64) -> bool {
+    filter_cost == zc_cost
+}
+
+/// Sanctioned: bit identity via `to_bits()`.
+pub fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// Integer equality is out of scope even in a pricing file.
+pub fn same_count(a: u64, b: u64) -> bool {
+    a == b
+}

@@ -1,0 +1,15 @@
+//@path crates/core/src/cost.rs
+/// Price the wire bytes of `records` narrow records.
+pub fn record_wire_bytes(records: u64) -> u64 {
+    // BAD: the narrow record width must come from `ValueLayout`.
+    let record_bytes = 12u64;
+    records * record_bytes
+}
+
+/// Sanctioned spelling: a documented, named constant.
+pub const SKETCH_PAYLOAD_BYTES: u64 = 64;
+
+/// `8` outside byte context (a plain shift count) is not a finding.
+pub fn eighth(x: u64) -> u64 {
+    x >> 8
+}

@@ -1,0 +1,10 @@
+//@path crates/core/src/runner.rs
+/// Iteration cap, in rounds.
+pub const MAX_ROUNDS: u32 = 64;
+
+pub const RETRY_LIMIT: u32 = 3;
+
+/// `pub const fn` is an API surface, not a tunable — out of scope.
+pub const fn doubled(x: u32) -> u32 {
+    x * 2
+}

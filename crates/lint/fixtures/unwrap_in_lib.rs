@@ -1,0 +1,19 @@
+//@path crates/graph/src/io.rs
+/// Parse a vertex count from a header line.
+pub fn parse_header(line: &str) -> u64 {
+    line.trim().parse().unwrap()
+}
+
+/// Expect is the same hazard under a different name.
+pub fn first_field(line: &str) -> &str {
+    line.split_whitespace().next().expect("non-empty line")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: u64 = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,62 @@
+//! The `hyt-lint` CLI: lint the workspace, print diagnostics, exit
+//! non-zero on any finding.
+//!
+//! ```text
+//! hyt-lint [--deny-all] [--root <dir>] [--list]
+//! ```
+//!
+//! Every lint is deny-by-default; `--deny-all` is accepted explicitly
+//! so the CI invocation documents its intent. `--root` overrides the
+//! workspace root (default: the ancestor of this crate's manifest).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => {} // the default and only mode
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (known: --deny-all, --root <dir>, --list)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if list {
+        for name in hyt_lint::lints::LINT_NAMES {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Default root: crates/lint/../../ = the workspace.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+    match hyt_lint::lints::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("hyt-lint: workspace clean ({} lints)", hyt_lint::lints::LINT_NAMES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!("hyt-lint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("hyt-lint: cannot walk workspace at {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

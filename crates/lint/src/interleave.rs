@@ -1,0 +1,539 @@
+//! A loom-style deterministic interleaving explorer for the striped
+//! value store.
+//!
+//! `hyt_core::api::Values<V>` documents a snapshot-consistency contract
+//! (the numbered invariants **V1–V5** in `crates/core/src/api.rs`) that
+//! `cargo test` exercises only under wall-clock thread scheduling — a
+//! torn wide-value read or a lost striped update would be flaky at
+//! best. This module instead models the store as an **explicit state
+//! machine** whose operations decompose into atomic micro-steps (lane
+//! loads, lane stores, CAS attempts, stripe acquire/release), and
+//! exhaustively DFS-explores every bounded interleaving of those steps
+//! across threads, with state-hash pruning to collapse converging
+//! schedules. Every schedule is checked against the contract:
+//!
+//! * **V1 — per-lane atomicity.** Every lane a read observes was
+//!   committed by some store (or is the initial state); lanes are never
+//!   out-of-thin-air.
+//! * **V2 — quiesced exactness.** Once all writers are done, the store
+//!   holds exactly the merge-fold of the initial state and every
+//!   message, untorn.
+//! * **V3 — single-lane linearizability.** `LANES == 1` updates go
+//!   through the lock-free CAS path; no update is lost and every
+//!   committed state is a merge of the previous committed state.
+//! * **V4 — stripe mutual exclusion.** `LANES > 1` read-modify-writes
+//!   hold their vertex's mutex stripe; two RMWs on the same stripe
+//!   never interleave their read and write phases.
+//! * **V5 — merge schedule-independence.** For the commutative,
+//!   idempotent merges the contract requires, the quiesced state is
+//!   identical under *every* interleaving.
+//!
+//! The model intentionally mirrors `Values`' structure — per-vertex
+//! lane arrays, a small stripe array, CAS for one lane, lock-held RMW
+//! for many — rather than its code; the point is to check the
+//! *contract*, not re-execute the implementation. To prove the checker
+//! has teeth, [`Mutation`] seeds the two bugs the contract exists to
+//! exclude (skipping the stripe lock; replacing CAS with plain
+//! load-then-store), and the explorer must catch both within a bounded
+//! schedule count — `repro check` pins that claim.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Stripes in the model store (small, so distinct vertices collide on a
+/// stripe within tiny scenarios — exactly the contended case V4 is
+/// about; the real store uses 64).
+pub const MODEL_STRIPES: usize = 2;
+
+/// One store operation a model thread performs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Wide read-modify-write: element-wise `max` merge of `msg` into
+    /// vertex `v` under its stripe lock (the `LANES > 1` path).
+    WideMerge {
+        /// Target vertex.
+        v: usize,
+        /// Per-lane message, element-wise max-merged.
+        msg: Vec<u64>,
+    },
+    /// Single-lane CAS merge: `max` fold of `msg` into lane 0 of `v`
+    /// through a compare-exchange loop (the `LANES == 1` path).
+    CasMerge {
+        /// Target vertex.
+        v: usize,
+        /// Message folded by `max`.
+        msg: u64,
+    },
+    /// Lock-free per-lane read of `v` (what `Values::get`/`snapshot`
+    /// do); checks V1 on completion.
+    Read {
+        /// Target vertex.
+        v: usize,
+    },
+}
+
+/// Seeded store-model bugs the checker must catch (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful model.
+    None,
+    /// Wide RMW proceeds without taking the stripe — the bug V4/V2
+    /// exclude (lost updates, torn read-modify-writes).
+    SkipStripeLock,
+    /// Single-lane update uses load-then-store instead of CAS — the
+    /// bug V3 excludes (lost updates under races).
+    CasWithoutCompare,
+}
+
+/// A bounded scenario: `threads[t]` is thread `t`'s op sequence against
+/// a store of `vertices` × `lanes`.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Lanes per vertex (1 = CAS path, >1 = striped path).
+    pub lanes: usize,
+    /// Vertices in the model store, all initialised to zero.
+    pub vertices: usize,
+    /// Per-thread op sequences.
+    pub threads: Vec<Vec<Op>>,
+    /// Seeded bug, if any.
+    pub mutation: Mutation,
+}
+
+impl Scenario {
+    /// The canonical 2-thread × 3-op wide-value scenario `repro check`
+    /// and the `hyt-core` interleave suite both pin: two threads race
+    /// max-merges and a lock-free read over two 2-lane vertices that
+    /// share a stripe.
+    pub fn wide_contract() -> Scenario {
+        Scenario {
+            lanes: 2,
+            vertices: 2,
+            threads: vec![
+                vec![
+                    Op::WideMerge { v: 0, msg: vec![3, 1] },
+                    Op::Read { v: 0 },
+                    Op::WideMerge { v: 1, msg: vec![5, 2] },
+                ],
+                vec![
+                    Op::WideMerge { v: 0, msg: vec![1, 4] },
+                    Op::WideMerge { v: 1, msg: vec![2, 7] },
+                    Op::Read { v: 1 },
+                ],
+            ],
+            mutation: Mutation::None,
+        }
+    }
+
+    /// The canonical single-lane CAS scenario: three threads fold maxima
+    /// into one cell, with interleaved reads.
+    pub fn cas_contract() -> Scenario {
+        Scenario {
+            lanes: 1,
+            vertices: 1,
+            threads: vec![
+                vec![Op::CasMerge { v: 0, msg: 4 }, Op::Read { v: 0 }],
+                vec![Op::CasMerge { v: 0, msg: 9 }, Op::CasMerge { v: 0, msg: 6 }],
+                vec![Op::Read { v: 0 }, Op::CasMerge { v: 0, msg: 7 }],
+            ],
+            mutation: Mutation::None,
+        }
+    }
+
+    /// Expected quiesced state: the element-wise max-fold of the zero
+    /// initial state and every message of every thread (commutative and
+    /// idempotent, so schedule-independent — V5's reference point).
+    fn expected_final(&self) -> Vec<u64> {
+        let mut lanes = vec![0u64; self.vertices * self.lanes];
+        for ops in &self.threads {
+            for op in ops {
+                match op {
+                    Op::WideMerge { v, msg } => {
+                        for (i, &m) in msg.iter().enumerate() {
+                            let slot = &mut lanes[v * self.lanes + i];
+                            *slot = (*slot).max(m);
+                        }
+                    }
+                    Op::CasMerge { v, msg } => {
+                        let slot = &mut lanes[v * self.lanes];
+                        *slot = (*slot).max(*msg);
+                    }
+                    Op::Read { .. } => {}
+                }
+            }
+        }
+        lanes
+    }
+}
+
+/// A contract violation found on some schedule.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which numbered invariant of `crates/core/src/api.rs` failed
+    /// (`"V1"`..`"V5"`).
+    pub invariant: &'static str,
+    /// What was observed.
+    pub detail: String,
+    /// Completed schedules before the violating one (the "caught in
+    /// < N schedules" bound `repro check` pins).
+    pub schedules_before: u64,
+}
+
+/// Exploration statistics for a scenario that passed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Exploration {
+    /// Maximal explored schedules: DFS branches run either to
+    /// quiescence or to convergence with an already-explored state
+    /// (whose continuations were checked when that state was first
+    /// reached). Without pruning this would be exactly the number of
+    /// complete interleavings; with pruning it is the number of
+    /// distinct schedule prefixes the explorer had to play out.
+    pub schedules: u64,
+    /// Distinct states visited.
+    pub states: u64,
+    /// Micro-steps executed across all schedules.
+    pub steps: u64,
+}
+
+/// Per-thread execution state: which op, and where inside it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    /// Ready to start the next op (or done, when ops are exhausted).
+    Ready,
+    /// WideMerge: about to take the stripe.
+    Acquire,
+    /// WideMerge/Read: loading lane `lane` into `buf`.
+    LoadLane { lane: usize, buf: Vec<u64>, for_read: bool },
+    /// WideMerge: storing merged lane `lane`.
+    StoreLane { lane: usize, merged: Vec<u64> },
+    /// WideMerge: about to release the stripe.
+    Release,
+    /// CasMerge: about to load the cell.
+    CasLoad,
+    /// CasMerge: attempting compare-exchange against `observed`.
+    CasAttempt { observed: u64 },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ThreadState {
+    op_index: usize,
+    pc: Pc,
+}
+
+/// Whole-model state; hashing it powers the prune set.
+#[derive(Clone)]
+struct State {
+    lanes: Vec<u64>,
+    /// `stripe_holder[s]` = thread currently holding stripe `s`.
+    stripe_holder: Vec<Option<usize>>,
+    threads: Vec<ThreadState>,
+}
+
+impl State {
+    fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.lanes.hash(&mut h);
+        self.stripe_holder.hash(&mut h);
+        self.threads.hash(&mut h);
+        h.finish()
+    }
+}
+
+struct Explorer<'a> {
+    sc: &'a Scenario,
+    /// Every value ever committed to each lane slot (incl. initial 0) —
+    /// the V1 reference set.
+    committed: Vec<HashSet<u64>>,
+    seen: HashSet<u64>,
+    stats: Exploration,
+    expected: Vec<u64>,
+}
+
+/// Exhaustively explore every interleaving of `sc`'s micro-steps.
+/// `Ok` carries the exploration statistics; `Err` the first violation
+/// found (DFS order is deterministic, so the result is reproducible).
+pub fn explore(sc: &Scenario) -> Result<Exploration, Violation> {
+    assert!(sc.lanes >= 1 && sc.vertices >= 1 && !sc.threads.is_empty());
+    for ops in &sc.threads {
+        for op in ops {
+            if let Op::WideMerge { msg, .. } = op {
+                assert_eq!(msg.len(), sc.lanes, "WideMerge message must cover every lane");
+            }
+        }
+    }
+    let lanes = vec![0u64; sc.vertices * sc.lanes];
+    let committed = lanes.iter().map(|&v| HashSet::from([v])).collect();
+    let mut ex = Explorer {
+        sc,
+        committed,
+        seen: HashSet::new(),
+        stats: Exploration::default(),
+        expected: sc.expected_final(),
+    };
+    let state = State {
+        lanes,
+        stripe_holder: vec![None; MODEL_STRIPES],
+        threads: vec![ThreadState { op_index: 0, pc: Pc::Ready }; sc.threads.len()],
+    };
+    ex.dfs(&state)?;
+    Ok(ex.stats)
+}
+
+impl Explorer<'_> {
+    fn stripe_of(&self, v: usize) -> usize {
+        v % MODEL_STRIPES
+    }
+
+    /// Is thread `t` runnable in `st` (not done, not blocked on a held
+    /// stripe)?
+    fn runnable(&self, st: &State, t: usize) -> bool {
+        let ts = &st.threads[t];
+        if ts.pc == Pc::Ready && ts.op_index >= self.sc.threads[t].len() {
+            return false;
+        }
+        if let Pc::Acquire = ts.pc {
+            let Op::WideMerge { v, .. } = &self.sc.threads[t][ts.op_index] else {
+                return true;
+            };
+            let s = self.stripe_of(*v);
+            return st.stripe_holder[s].is_none();
+        }
+        true
+    }
+
+    fn dfs(&mut self, st: &State) -> Result<(), Violation> {
+        let digest = st.digest();
+        if !self.seen.insert(digest) {
+            // Converged with an explored state: this branch's
+            // continuations were all checked when that state was first
+            // reached, so the schedule ends here — count it.
+            self.stats.schedules += 1;
+            return Ok(());
+        }
+        self.stats.states += 1;
+        let runnable: Vec<usize> =
+            (0..st.threads.len()).filter(|&t| self.runnable(st, t)).collect();
+        if runnable.is_empty() {
+            let all_done = st
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(t, ts)| ts.pc == Pc::Ready && ts.op_index >= self.sc.threads[t].len());
+            assert!(all_done, "model deadlock: threads blocked with work remaining");
+            self.stats.schedules += 1;
+            // V2 + V5: the quiesced store must hold exactly the
+            // schedule-independent merge-fold, untorn.
+            if st.lanes != self.expected {
+                return Err(Violation {
+                    invariant: if self.sc.lanes == 1 { "V3" } else { "V2" },
+                    detail: format!(
+                        "quiesced store {:?} != merge-fold {:?} (lost or torn update)",
+                        st.lanes, self.expected
+                    ),
+                    schedules_before: self.stats.schedules - 1,
+                });
+            }
+            return Ok(());
+        }
+        for t in runnable {
+            let mut next = st.clone();
+            self.step(&mut next, t)?;
+            self.stats.steps += 1;
+            self.dfs(&next)?;
+        }
+        Ok(())
+    }
+
+    /// Execute thread `t`'s next micro-step in place.
+    fn step(&mut self, st: &mut State, t: usize) -> Result<(), Violation> {
+        let op_index = st.threads[t].op_index;
+        let op = &self.sc.threads[t][op_index];
+        let pc = st.threads[t].pc.clone();
+        let lanes_n = self.sc.lanes;
+        match (pc, op) {
+            (Pc::Ready, Op::WideMerge { .. }) => {
+                st.threads[t].pc = if self.sc.mutation == Mutation::SkipStripeLock {
+                    Pc::LoadLane { lane: 0, buf: Vec::new(), for_read: false }
+                } else {
+                    Pc::Acquire
+                };
+            }
+            (Pc::Ready, Op::CasMerge { .. }) => st.threads[t].pc = Pc::CasLoad,
+            (Pc::Ready, Op::Read { .. }) => {
+                st.threads[t].pc = Pc::LoadLane { lane: 0, buf: Vec::new(), for_read: true };
+            }
+
+            (Pc::Acquire, Op::WideMerge { v, .. }) => {
+                let s = self.stripe_of(*v);
+                // V4: the scheduler never runs a blocked thread, so a
+                // held stripe here is a checker bug, not a model race.
+                assert!(
+                    st.stripe_holder[s].is_none(),
+                    "V4: stripe {s} acquired while held (scheduler bug)"
+                );
+                st.stripe_holder[s] = Some(t);
+                st.threads[t].pc = Pc::LoadLane { lane: 0, buf: Vec::new(), for_read: false };
+            }
+
+            (
+                Pc::LoadLane { lane, mut buf, for_read },
+                op @ (Op::WideMerge { .. } | Op::Read { .. }),
+            ) => {
+                let v = match op {
+                    Op::WideMerge { v, .. } | Op::Read { v } => *v,
+                    Op::CasMerge { .. } => unreachable!(),
+                };
+                let slot = v * lanes_n + lane;
+                let val = st.lanes[slot];
+                // V1: a loaded lane must be some committed value.
+                if !self.committed[slot].contains(&val) {
+                    return Err(Violation {
+                        invariant: "V1",
+                        detail: format!("lane {lane} of vertex {v} read out-of-thin-air {val}"),
+                        schedules_before: self.stats.schedules,
+                    });
+                }
+                buf.push(val);
+                if lane + 1 < lanes_n {
+                    st.threads[t].pc = Pc::LoadLane { lane: lane + 1, buf, for_read };
+                } else if for_read {
+                    // Read op complete (V1 checked per lane above).
+                    st.threads[t] = ThreadState { op_index: op_index + 1, pc: Pc::Ready };
+                } else {
+                    let Op::WideMerge { msg, .. } = op else { unreachable!() };
+                    let merged: Vec<u64> = buf.iter().zip(msg).map(|(&a, &b)| a.max(b)).collect();
+                    st.threads[t].pc = Pc::StoreLane { lane: 0, merged };
+                }
+            }
+
+            (Pc::StoreLane { lane, merged }, Op::WideMerge { v, .. }) => {
+                let slot = v * lanes_n + lane;
+                st.lanes[slot] = merged[lane];
+                self.committed[slot].insert(merged[lane]);
+                if lane + 1 < lanes_n {
+                    st.threads[t].pc = Pc::StoreLane { lane: lane + 1, merged };
+                } else if self.sc.mutation == Mutation::SkipStripeLock {
+                    st.threads[t] = ThreadState { op_index: op_index + 1, pc: Pc::Ready };
+                } else {
+                    st.threads[t].pc = Pc::Release;
+                }
+            }
+
+            (Pc::Release, Op::WideMerge { v, .. }) => {
+                let s = self.stripe_of(*v);
+                assert_eq!(st.stripe_holder[s], Some(t), "V4: released a stripe it never held");
+                st.stripe_holder[s] = None;
+                st.threads[t] = ThreadState { op_index: op_index + 1, pc: Pc::Ready };
+            }
+
+            (Pc::CasLoad, Op::CasMerge { v, .. }) => {
+                let slot = v * lanes_n;
+                let val = st.lanes[slot];
+                if !self.committed[slot].contains(&val) {
+                    return Err(Violation {
+                        invariant: "V1",
+                        detail: format!("CAS load of vertex {v} read out-of-thin-air {val}"),
+                        schedules_before: self.stats.schedules,
+                    });
+                }
+                st.threads[t].pc = Pc::CasAttempt { observed: val };
+            }
+
+            (Pc::CasAttempt { observed }, Op::CasMerge { v, msg }) => {
+                let slot = v * lanes_n;
+                let new = observed.max(*msg);
+                if new == observed {
+                    // Merge declines: no write needed, op completes.
+                    st.threads[t] = ThreadState { op_index: op_index + 1, pc: Pc::Ready };
+                } else if self.sc.mutation == Mutation::CasWithoutCompare {
+                    // Seeded bug: blind store, ignoring intervening writes.
+                    st.lanes[slot] = new;
+                    self.committed[slot].insert(new);
+                    st.threads[t] = ThreadState { op_index: op_index + 1, pc: Pc::Ready };
+                } else if st.lanes[slot] == observed {
+                    // CAS success: V3 holds by construction — the new
+                    // value extends the *current* committed state.
+                    st.lanes[slot] = new;
+                    self.committed[slot].insert(new);
+                    st.threads[t] = ThreadState { op_index: op_index + 1, pc: Pc::Ready };
+                } else {
+                    // CAS failure: retry from the load.
+                    st.threads[t].pc = Pc::CasLoad;
+                }
+            }
+
+            (pc, op) => unreachable!("invalid model transition: {pc:?} on {op:?}"),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_contract_passes_exhaustively() {
+        let ex = explore(&Scenario::wide_contract()).expect("contract must hold");
+        assert!(ex.schedules > 0 && ex.states > ex.schedules);
+    }
+
+    #[test]
+    fn cas_contract_passes_exhaustively() {
+        let ex = explore(&Scenario::cas_contract()).expect("contract must hold");
+        assert!(ex.schedules > 0);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = explore(&Scenario::wide_contract()).expect("holds");
+        let b = explore(&Scenario::wide_contract()).expect("holds");
+        assert_eq!((a.schedules, a.states, a.steps), (b.schedules, b.states, b.steps));
+    }
+
+    #[test]
+    fn skipped_stripe_lock_is_caught() {
+        let sc = Scenario { mutation: Mutation::SkipStripeLock, ..Scenario::wide_contract() };
+        let v = explore(&sc).expect_err("lost/torn updates must surface");
+        assert!(v.invariant == "V2" || v.invariant == "V4", "{v:?}");
+        assert!(v.schedules_before < 1000, "caught only after {} schedules", v.schedules_before);
+    }
+
+    #[test]
+    fn blind_cas_is_caught() {
+        let sc = Scenario { mutation: Mutation::CasWithoutCompare, ..Scenario::cas_contract() };
+        let v = explore(&sc).expect_err("lost updates must surface");
+        assert_eq!(v.invariant, "V3", "{v:?}");
+        assert!(v.schedules_before < 1000);
+    }
+
+    #[test]
+    fn single_thread_has_one_schedule() {
+        let sc = Scenario {
+            lanes: 2,
+            vertices: 1,
+            threads: vec![vec![Op::WideMerge { v: 0, msg: vec![1, 2] }, Op::Read { v: 0 }]],
+            mutation: Mutation::None,
+        };
+        let ex = explore(&sc).expect("holds");
+        assert_eq!(ex.schedules, 1);
+    }
+
+    #[test]
+    fn reads_tolerate_torn_but_committed_lanes() {
+        // Two wide writers + a reader on the same vertex: mid-RMW reads
+        // may be torn across lanes (allowed), but every lane must be
+        // committed (V1) — and the quiesced state exact (V2).
+        let sc = Scenario {
+            lanes: 2,
+            vertices: 1,
+            threads: vec![
+                vec![Op::WideMerge { v: 0, msg: vec![6, 1] }],
+                vec![Op::WideMerge { v: 0, msg: vec![2, 8] }],
+                vec![Op::Read { v: 0 }, Op::Read { v: 0 }],
+            ],
+            mutation: Mutation::None,
+        };
+        explore(&sc).expect("torn-but-committed reads are within contract");
+    }
+}

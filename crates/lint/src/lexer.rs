@@ -1,0 +1,435 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The environment is fully offline, so `hyt-lint` cannot lean on `syn`
+//! or `proc-macro2`; instead this module implements the small slice of
+//! Rust lexing the lint passes actually need: identifiers, integer and
+//! float literals (with their numeric value), string/char/byte literals
+//! (so code quoted *inside* strings never trips a lint), line and block
+//! comments (doc and plain, tracked separately so allow-annotations and
+//! `///` docs can be recognised), lifetimes, and punctuation (with the
+//! two-character operators the lints care about — `==` `!=` `::` — fused
+//! into single tokens).
+//!
+//! The scanner is intentionally forgiving: it never fails. Anything it
+//! does not recognise becomes a one-character [`TokKind::Punct`] token,
+//! which no lint matches on. What it must get *right* is skipping —
+//! strings, raw strings, char-vs-lifetime, nested block comments —
+//! because a mis-skipped string would leak its contents into the token
+//! stream as spurious identifiers.
+
+/// Classification of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `const`, `unwrap`, ...).
+    Ident,
+    /// Integer literal; [`Tok::int_value`] decodes it.
+    IntLit,
+    /// Float literal (`1.0`, `1e-3`, `2.5f64`).
+    FloatLit,
+    /// String, raw string, byte string, or char literal (contents opaque).
+    StrLit,
+    /// `// ...` comment that is *not* a doc comment.
+    LineComment,
+    /// `/// ...` or `//! ...` doc comment.
+    DocComment,
+    /// `/* ... */` (nested ok); doc block comments fold in here too —
+    /// the lints only need line-level doc detection.
+    BlockComment,
+    /// `'a` lifetime.
+    Lifetime,
+    /// Punctuation; `==`, `!=`, and `::` arrive fused as one token.
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based line of its first
+/// character.
+#[derive(Clone, Debug)]
+pub struct Tok<'a> {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Verbatim source text (for comments, includes the `//`/`/*`).
+    pub text: &'a str,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// Decode an integer literal's value (underscores and type suffixes
+    /// stripped; `0x`/`0o`/`0b` honoured). `None` for non-integers or
+    /// out-of-range values.
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokKind::IntLit {
+            return None;
+        }
+        let cleaned: String = self.text.chars().filter(|&c| c != '_').collect();
+        let (radix, digits) = match cleaned.get(..2) {
+            Some("0x") | Some("0X") => (16, &cleaned[2..]),
+            Some("0o") | Some("0O") => (8, &cleaned[2..]),
+            Some("0b") | Some("0B") => (2, &cleaned[2..]),
+            _ => (10, cleaned.as_str()),
+        };
+        // Strip a trailing type suffix (`u64`, `usize`, `i8`, ...).
+        let end = digits.find(|c: char| !c.is_digit(radix)).unwrap_or(digits.len());
+        u64::from_str_radix(&digits[..end], radix).ok()
+    }
+
+    /// Is this token any kind of comment?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::DocComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenize `src`. Never fails (see module docs).
+pub fn tokenize(src: &str) -> Vec<Tok<'_>> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.bytes[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'"' => self.string_lit(start, line),
+                b'r' | b'b' if self.raw_or_byte_string(start, line) => {}
+                b'\'' => self.char_or_lifetime(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                _ if is_ident_start(c) => self.ident(start, line),
+                _ => self.punct(start, line),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Tok { kind, text: &self.src[start..self.pos], line });
+    }
+
+    fn bump_line_counter(&mut self, start: usize) {
+        self.line += self.src[start..self.pos].bytes().filter(|&b| b == b'\n').count() as u32;
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let kind =
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                TokKind::DocComment
+            } else {
+                TokKind::LineComment
+            };
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.bump_line_counter(start);
+        self.push(TokKind::BlockComment, start, line);
+    }
+
+    fn string_lit(&mut self, start: usize, line: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.bump_line_counter(start);
+        self.push(TokKind::StrLit, start, line);
+    }
+
+    /// Handle `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+    /// Returns false (consuming nothing) when the `r`/`b` starts a plain
+    /// identifier instead.
+    fn raw_or_byte_string(&mut self, start: usize, line: u32) -> bool {
+        let mut i = self.pos;
+        // Optional `b`, then optional `r`.
+        if self.bytes[i] == b'b' {
+            i += 1;
+        }
+        if self.bytes.get(i) == Some(&b'r') {
+            i += 1;
+            let mut hashes = 0usize;
+            while self.bytes.get(i) == Some(&b'#') {
+                hashes += 1;
+                i += 1;
+            }
+            if self.bytes.get(i) != Some(&b'"') {
+                return false; // `r` / `br` identifier (e.g. `r#ident` is rare; treat as ident)
+            }
+            i += 1;
+            // Scan for `"` followed by `hashes` hashes.
+            let closer: Vec<u8> =
+                std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+            while i < self.bytes.len() {
+                if self.bytes[i] == b'"' && self.bytes[i..].starts_with(&closer) {
+                    i += closer.len();
+                    break;
+                }
+                i += 1;
+            }
+            self.pos = i;
+            self.bump_line_counter(start);
+            self.push(TokKind::StrLit, start, line);
+            return true;
+        }
+        // `b"..."` or `b'x'`.
+        if self.bytes[self.pos] == b'b' {
+            match self.bytes.get(self.pos + 1) {
+                Some(&b'"') => {
+                    self.pos += 1;
+                    self.string_lit(start, line);
+                    return true;
+                }
+                Some(&b'\'') => {
+                    self.pos += 1;
+                    self.char_or_lifetime(start, line);
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        self.pos += 1; // the quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape then to closing quote.
+                self.pos += 2;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                self.push(TokKind::StrLit, start, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'x'` is a char; `'x` followed by more ident chars or
+                // not followed by `'` is a lifetime.
+                let mut i = self.pos + 1;
+                while self.bytes.get(i).is_some_and(|&b| is_ident_continue(b)) {
+                    i += 1;
+                }
+                if i == self.pos + 1 && self.bytes.get(i) == Some(&b'\'') {
+                    self.pos = i + 1;
+                    self.push(TokKind::StrLit, start, line);
+                } else {
+                    self.pos = i;
+                    self.push(TokKind::Lifetime, start, line);
+                }
+            }
+            Some(_) => {
+                // `'('` etc: char literal of a non-ident char.
+                self.pos += 1;
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                self.push(TokKind::StrLit, start, line);
+            }
+            None => self.push(TokKind::Punct, start, line),
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let radix_prefixed = self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+        if radix_prefixed {
+            self.pos += 2;
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                self.pos += 1;
+            }
+            self.push(TokKind::IntLit, start, line);
+            return;
+        }
+        let mut is_float = false;
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            self.pos += 1;
+        }
+        // A `.` continues the number only when followed by a digit
+        // (`1.5`); `1..n` and `1.max(2)` keep the dot as punctuation.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let mut i = self.pos + 1;
+            if matches!(self.bytes.get(i), Some(b'+' | b'-')) {
+                i += 1;
+            }
+            if self.bytes.get(i).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.pos = i;
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, ...).
+        if self.peek(0).is_some_and(is_ident_start) {
+            let suffix_start = self.pos;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            if self.src[suffix_start..self.pos].starts_with('f') {
+                is_float = true;
+            }
+        }
+        self.push(if is_float { TokKind::FloatLit } else { TokKind::IntLit }, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn punct(&mut self, start: usize, line: u32) {
+        let c = self.bytes[self.pos];
+        let fused = match (c, self.peek(1)) {
+            (b'=', Some(b'=')) | (b'!', Some(b'=')) | (b':', Some(b':')) => 2,
+            _ => 1,
+        };
+        self.pos += fused;
+        self.push(TokKind::Punct, start, line);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let t = kinds("let x = 24u64 + 0x18;");
+        assert_eq!(t[0], (TokKind::Ident, "let"));
+        assert_eq!(t[3], (TokKind::IntLit, "24u64"));
+        assert_eq!(t[5], (TokKind::IntLit, "0x18"));
+        let toks = tokenize("let x = 24u64 + 0x18;");
+        assert_eq!(toks[3].int_value(), Some(24));
+        assert_eq!(toks[5].int_value(), Some(24));
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_methods() {
+        let t = kinds("1.5 1..3 1.max(2) 2e-3 7f64");
+        assert_eq!(t[0], (TokKind::FloatLit, "1.5"));
+        assert_eq!(t[1], (TokKind::IntLit, "1"));
+        assert_eq!(t[2], (TokKind::Punct, "."));
+        assert_eq!(t[3], (TokKind::Punct, "."));
+        assert_eq!(t[4], (TokKind::IntLit, "3"));
+        assert_eq!(t[5], (TokKind::IntLit, "1"));
+        assert_eq!(t[6], (TokKind::Punct, "."));
+        assert_eq!(t[7], (TokKind::Ident, "max"));
+        assert_eq!(t[11], (TokKind::FloatLit, "2e-3"));
+        assert_eq!(t[12], (TokKind::FloatLit, "7f64"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "unwrap() == 24"; x"#);
+        assert!(t.iter().all(|&(k, txt)| k != TokKind::Ident || (txt != "unwrap" && txt != "24")));
+        assert_eq!(t.iter().filter(|&&(k, _)| k == TokKind::StrLit).count(), 1);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let t = kinds(r###"r#"a "quoted" unwrap()"# b"bytes" b'x' r"plain""###);
+        assert_eq!(t.iter().filter(|&&(k, _)| k == TokKind::StrLit).count(), 4);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(t.iter().filter(|&&(k, _)| k == TokKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|&&(k, _)| k == TokKind::StrLit).count(), 2);
+    }
+
+    #[test]
+    fn comments_doc_and_plain() {
+        let src = "/// doc\n// plain\n//! inner\n/* block /* nested */ end */ x";
+        let t = kinds(src);
+        assert_eq!(t[0].0, TokKind::DocComment);
+        assert_eq!(t[1].0, TokKind::LineComment);
+        assert_eq!(t[2].0, TokKind::DocComment);
+        assert_eq!(t[3].0, TokKind::BlockComment);
+        assert_eq!(t[4], (TokKind::Ident, "x"));
+    }
+
+    #[test]
+    fn fused_operators_and_lines() {
+        let toks = tokenize("a == b\n!= c :: d = e ! f");
+        assert_eq!(toks[1].text, "==");
+        assert_eq!(toks[3].text, "!=");
+        assert_eq!(toks[3].line, 2);
+        assert_eq!(toks[5].text, "::");
+        assert_eq!(toks[7].text, "=");
+        assert_eq!(toks[9].text, "!");
+    }
+
+    #[test]
+    fn line_tracking_through_multiline_tokens() {
+        let toks = tokenize("/* a\nb */\nx \"s\ntr\" y");
+        let x = toks.iter().find(|t| t.text == "x").map(|t| t.line);
+        let y = toks.iter().find(|t| t.text == "y").map(|t| t.line);
+        assert_eq!(x, Some(3));
+        assert_eq!(y, Some(4));
+    }
+}

@@ -1,0 +1,82 @@
+//! Golden tests: every fixture under `fixtures/` lints to exactly its
+//! sibling `.expected` file.
+//!
+//! A fixture's first line is a `//@path <workspace-relative-path>`
+//! directive giving the path the snippet pretends to live at (the lints
+//! scope by file); the directive line stays in the linted source so
+//! fixture line numbers and diagnostic line numbers agree. Regenerate
+//! goldens with `UPDATE_EXPECT=1 cargo test -p hyt-lint --test fixtures`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use hyt_lint::lints::{lint_source, LINT_NAMES};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn render(path: &Path) -> (String, Vec<&'static str>) {
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    let first = src.lines().next().unwrap_or("");
+    let pretend = first
+        .strip_prefix("//@path ")
+        .unwrap_or_else(|| panic!("{}: first line must be `//@path <rel-path>`", path.display()))
+        .trim();
+    let diags = lint_source(pretend, &src);
+    let fired = diags.iter().map(|d| d.lint).collect();
+    let mut out = String::new();
+    for d in &diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    (out, fired)
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let update = std::env::var_os("UPDATE_EXPECT").is_some();
+    let mut fired_anywhere: BTreeSet<&str> = BTreeSet::new();
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir exists")
+        .map(|e| e.expect("fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no fixtures found");
+    for fixture in entries {
+        let (actual, fired) = render(&fixture);
+        fired_anywhere.extend(fired);
+        let golden = fixture.with_extension("expected");
+        if update {
+            std::fs::write(&golden, &actual).expect("golden writable");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden).unwrap_or_else(|_| {
+            panic!("{}: missing golden (run UPDATE_EXPECT=1)", golden.display())
+        });
+        assert_eq!(
+            actual,
+            expected,
+            "{}: diagnostics drifted from golden (UPDATE_EXPECT=1 to regenerate)",
+            fixture.display()
+        );
+        checked += 1;
+    }
+    if !update {
+        assert!(checked >= 7, "expected at least 7 fixtures, checked {checked}");
+    }
+    // Every lint must be proven to fire by at least one fixture, and the
+    // malformed-annotation pseudo-lint as well.
+    for lint in LINT_NAMES {
+        assert!(fired_anywhere.contains(lint), "no fixture exercises `{lint}`");
+    }
+    assert!(fired_anywhere.contains("allow-syntax"), "no fixture exercises `allow-syntax`");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let (out, _) = render(&fixtures_dir().join("clean.rs"));
+    assert_eq!(out, "", "clean.rs must produce no diagnostics");
+}

@@ -1,0 +1,15 @@
+//! The gate the CI leg enforces, as a plain test: the real workspace is
+//! lint-clean, so `hyt-lint --deny-all` exits 0.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = hyt_lint::lints::lint_workspace(&root).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Transaction-level PCIe / GPU / unified-memory simulator.
 //!
 //! This crate is the substitution for the hardware the paper ran on (an

@@ -221,12 +221,11 @@ impl MultiGpuSim {
 
 /// Earliest-available stream (stable tie-break), as `(index, free_time)`.
 fn earliest_stream(streams: &[f64]) -> (usize, f64) {
-    let (sid, &t) = streams
+    streams
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
-        .expect("at least one stream");
-    (sid, t)
+        .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+        .map_or((0, 0.0), |(sid, &t)| (sid, t))
 }
 
 #[cfg(test)]

@@ -176,8 +176,8 @@ impl StreamSim {
             let (sid, _) = stream_free
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
-                .expect("at least one stream");
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                .map_or((0, 0.0), |(sid, &t)| (sid, t));
             let mut cursor = stream_free[sid];
             let mut first = true;
             let mut task_start = cursor;

@@ -923,6 +923,7 @@ impl Interconnect {
 
     /// The endpoint of peer link `link` that is not `device`.
     fn other_end(&self, link: usize, device: u32) -> u32 {
+        // hyt-lint: allow(unwrap-in-lib) -- callers only pass peer-link ids, and every peer link is constructed with Some(endpoints); only HOST_LINK has None
         let (a, b) = self.links[link].endpoints.expect("peer link has endpoints");
         if device == a {
             b
@@ -935,6 +936,7 @@ impl Interconnect {
     /// `bytes`; returns the device at the other end.
     fn occupy(&self, report: &mut ExchangeReport, from: u32, link: usize, bytes: u64) -> u32 {
         let t = self.transfer_time(link, bytes);
+        // hyt-lint: allow(unwrap-in-lib) -- occupy is only invoked on peer links, which are always constructed with Some(endpoints)
         let (a, _) = self.links[link].endpoints.expect("peer link has endpoints");
         report.per_queue_busy[self.queue(link, from != a)] += t;
         report.per_link_busy[link] += t;
@@ -963,6 +965,7 @@ impl Interconnect {
     /// Host legs are queued in ascending device order, upload before
     /// download — the legacy pricing order — which keeps the host-only
     /// result bit-identical to the pre-topology serial bus model.
+    #[must_use = "an ExchangeReport is a priced plan, not an action; dropping it discards the pricing"]
     pub fn price_all_gather(&self, owned: &[u64], participates: &[bool]) -> ExchangeReport {
         match self.all_gather_payload(owned, participates) {
             None => self.empty_report(),
@@ -993,6 +996,7 @@ impl Interconnect {
     /// invariant; only the per-link occupancy (and the
     /// [`ExchangeReport::rerouted_bytes`] / [`ExchangeReport::
     /// split_bytes`] accounting) may differ from the static pass.
+    #[must_use = "an ExchangeReport is a priced plan, not an action; dropping it discards the pricing"]
     pub fn price_all_gather_load_aware(
         &self,
         owned: &[u64],
@@ -1156,6 +1160,7 @@ impl Interconnect {
             FragPath::Peer(hops) => {
                 let mut cur = f.src;
                 for &link in hops {
+                    // hyt-lint: allow(unwrap-in-lib) -- FragPath::Peer hop lists come from extract_hops over peer links, which all carry Some(endpoints)
                     let (a, _) = self.links[link].endpoints.expect("peer link has endpoints");
                     if self.queue(link, cur != a) == q {
                         return true;
@@ -1252,6 +1257,7 @@ fn extract_hops(src: usize, dst: usize, via: &[Option<usize>], prev: &[usize]) -
     let mut hops = Vec::new();
     let mut cur = dst;
     while cur != src {
+        // hyt-lint: allow(unwrap-in-lib) -- Dijkstra settles a vertex only by relaxing some link into it, recording via[cur] = Some(link)
         hops.push(via[cur].expect("finite distance implies an arriving link"));
         cur = prev[cur];
     }

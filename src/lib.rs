@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # HyTGraph-RS
 //!
 //! A from-scratch Rust reproduction of **HyTGraph: GPU-Accelerated Graph
