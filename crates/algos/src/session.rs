@@ -29,7 +29,9 @@ use crate::hyperball::HllSketch;
 use crate::multi_source::{lane_values, MultiBfs, MultiDist, MultiSssp};
 use crate::{HyperBall, PageRank};
 use hyt_core::api::{F32Pair, ValueLayout};
-use hyt_core::session::{CohortOutcome, QueryKind, QueryOutput, QueryShape, SessionBackend};
+use hyt_core::session::{
+    CohortOutcome, MutationOutcome, QueryKind, QueryOutput, QueryShape, SessionBackend,
+};
 use hyt_core::stats::{ExchangeStats, RunResult};
 use hyt_core::HyTGraphSystem;
 use hyt_graph::VertexId;
@@ -87,7 +89,7 @@ fn sssp_cohort<const B: usize>(system: &mut HyTGraphSystem, s: &[VertexId]) -> C
 }
 
 impl SessionBackend for AlgoBackend {
-    fn query_shape(&self, kind: QueryKind) -> QueryShape {
+    fn query_shape(&self, kind: &QueryKind) -> QueryShape {
         match kind {
             QueryKind::Bfs(_) => {
                 QueryShape { layout: ValueLayout::of::<u32>(), needs_weights: false }
@@ -101,6 +103,12 @@ impl SessionBackend for AlgoBackend {
             QueryKind::HyperBall => {
                 QueryShape { layout: ValueLayout::of::<HllSketch>(), needs_weights: false }
             }
+            // A mutation is admission-priced at the narrow weight-blind
+            // sweep (the bound on the repricing work it can force); the
+            // service adds the live delta surplus on top.
+            QueryKind::Mutate(_) => {
+                QueryShape { layout: ValueLayout::of::<u32>(), needs_weights: false }
+            }
         }
     }
 
@@ -108,7 +116,7 @@ impl SessionBackend for AlgoBackend {
         &WIDTHS
     }
 
-    fn coalesces(&self, a: QueryKind, b: QueryKind) -> bool {
+    fn coalesces(&self, a: &QueryKind, b: &QueryKind) -> bool {
         matches!(
             (a, b),
             (QueryKind::Bfs(_), QueryKind::Bfs(_)) | (QueryKind::Sssp(_), QueryKind::Sssp(_))
@@ -116,7 +124,7 @@ impl SessionBackend for AlgoBackend {
     }
 
     fn execute(&self, system: &mut HyTGraphSystem, cohort: &[QueryKind]) -> CohortOutcome {
-        match cohort[0] {
+        match &cohort[0] {
             QueryKind::Bfs(_) => {
                 let s = sources(cohort);
                 match s.len() {
@@ -163,6 +171,42 @@ impl SessionBackend for AlgoBackend {
                     exchange_payload_bytes: payload,
                 }
             }
+            QueryKind::Mutate(batch) => {
+                assert_eq!(cohort.len(), 1, "mutations never coalesce");
+                let (outcome, time) = match system.apply_mutations(batch) {
+                    Ok(rep) => {
+                        // The mutation's priced service time is the fold
+                        // it triggered (zero otherwise — appends are
+                        // host-side bookkeeping off the device clock).
+                        let time = if rep.compacted { rep.fold_cost } else { 0.0 };
+                        let out = MutationOutcome {
+                            applied: rep.applied,
+                            dirty_partitions: rep.dirty_partitions,
+                            reactivated: rep.reactivated.len(),
+                            compacted: rep.compacted,
+                            error: None,
+                        };
+                        (out, time)
+                    }
+                    Err(e) => (
+                        MutationOutcome {
+                            applied: 0,
+                            dirty_partitions: Vec::new(),
+                            reactivated: 0,
+                            compacted: false,
+                            error: Some(e.to_string()),
+                        },
+                        0.0,
+                    ),
+                };
+                CohortOutcome {
+                    outputs: vec![QueryOutput::Mutation(outcome)],
+                    iterations: 0,
+                    total_time: time,
+                    exchange: ExchangeStats::default(),
+                    exchange_payload_bytes: 0,
+                }
+            }
         }
     }
 }
@@ -193,10 +237,10 @@ mod tests {
     #[test]
     fn shapes_price_the_real_programs() {
         let b = AlgoBackend;
-        assert!(!b.query_shape(QueryKind::Bfs(0)).needs_weights);
-        assert!(b.query_shape(QueryKind::Sssp(0)).needs_weights);
-        assert_eq!(b.query_shape(QueryKind::HyperBall).layout.wire_bytes, 64);
-        assert_eq!(b.query_shape(QueryKind::PageRank).layout.lanes, 1);
+        assert!(!b.query_shape(&QueryKind::Bfs(0)).needs_weights);
+        assert!(b.query_shape(&QueryKind::Sssp(0)).needs_weights);
+        assert_eq!(b.query_shape(&QueryKind::HyperBall).layout.wire_bytes, 64);
+        assert_eq!(b.query_shape(&QueryKind::PageRank).layout.lanes, 1);
     }
 
     #[test]

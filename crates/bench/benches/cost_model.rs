@@ -21,7 +21,9 @@ fn bench_activity_analysis(c: &mut Criterion) {
     g.throughput(Throughput::Elements(parts.len() as u64));
     for threads in [1usize, 4] {
         g.bench_function(format!("threads{threads}"), |b| {
-            b.iter(|| black_box(analyze_partitions(&graph, &parts, &frontier, &pcie, 8, threads)))
+            b.iter(|| {
+                black_box(analyze_partitions(graph.view(), &parts, &frontier, &pcie, 8, threads))
+            })
         });
     }
     g.finish();
@@ -35,7 +37,7 @@ fn bench_cost_and_selection(c: &mut Criterion) {
         frontier.insert(v);
     }
     let pcie = PcieModel::pcie3();
-    let acts = analyze_partitions(&graph, &parts, &frontier, &pcie, 8, 4);
+    let acts = analyze_partitions(graph.view(), &parts, &frontier, &pcie, 8, 4);
     let params = SelectParams::default();
     let mut g = c.benchmark_group("selection");
     g.throughput(Throughput::Elements(acts.len() as u64));

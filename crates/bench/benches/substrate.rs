@@ -67,7 +67,7 @@ fn bench_compaction_gather(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes));
     for threads in [1usize, 4] {
         g.bench_function(format!("threads{threads}"), |b| {
-            b.iter(|| black_box(compaction::compact(&graph, &active, threads)))
+            b.iter(|| black_box(compaction::compact(graph.view(), &active, threads)))
         });
     }
     g.finish();

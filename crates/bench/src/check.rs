@@ -713,8 +713,8 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
         let scfg = SessionConfig { max_batch: 4, admission_budget: f64::INFINITY, max_queue: 16 };
         let sys = hyt_core::HyTGraphSystem::new(g.clone(), cfg());
         let mut svc = SessionService::new(sys, AlgoBackend, scfg);
-        let bfs_q = svc.quote(QueryKind::Bfs(0)).sweep_rtt;
-        let sssp_q = svc.quote(QueryKind::Sssp(0)).sweep_rtt;
+        let bfs_q = svc.quote(&QueryKind::Bfs(0)).sweep_rtt;
+        let sssp_q = svc.quote(&QueryKind::Sssp(0)).sweep_rtt;
         let sources = [3u32, 17, 44, 120];
         let admitted = sources
             .iter()
@@ -810,6 +810,102 @@ pub fn run_all(ctx: &mut Ctx) -> Vec<CheckResult> {
                 affine_cum * 1e3,
                 static_cum * 1e3,
                 break_even
+            ),
+        ));
+    }
+
+    // ISSUE 10: incremental reactivation — a localized mutation batch
+    // dirties strictly fewer partitions than the whole graph holds, the
+    // next sweep reprices exactly those (a cold system reprices all of
+    // them), and the reactivation frontier is exactly the touched
+    // endpoints rather than every vertex.
+    {
+        use hyt_core::ValueLayout;
+        use hyt_graph::MutationBatch;
+        let g = hyt_graph::generators::rmat(11, 10.0, 7, true);
+        let cfg = HyTGraphConfig { contribution_scheduling: false, ..base_config() };
+        let mut sys = hyt_core::HyTGraphSystem::new(g, cfg);
+        let total = sys.num_partitions() as u64;
+        let layout = ValueLayout::of::<u32>();
+        sys.price_full_sweep(true, layout);
+        let cold = sys.sweep_repriced();
+        let mut batch = MutationBatch::new();
+        batch.insert_weighted(0, 1, 3).insert_weighted(1, 0, 9);
+        // hyt-lint: allow(unwrap-in-lib) -- inserting fresh edges between vertices 0 and 1 cannot fail
+        let rep = sys.apply_mutations(&batch).unwrap();
+        let before = sys.sweep_repriced();
+        sys.price_full_sweep(true, layout);
+        let incremental = sys.sweep_repriced() - before;
+        out.push(CheckResult::new(
+            "Streaming mutations: a localized batch reprices strictly fewer partitions than cold",
+            cold == total
+                && (rep.dirty_partitions.len() as u64) < total
+                && incremental == rep.dirty_partitions.len() as u64
+                && rep.reactivated == vec![0, 1],
+            format!(
+                "cold sweep priced {cold}/{total} partitions; batch dirtied {:?}; next sweep \
+                 repriced {incremental}; reactivation frontier {:?}",
+                rep.dirty_partitions, rep.reactivated
+            ),
+        ));
+    }
+
+    // ISSUE 10: the priced compaction trigger — across a delete-heavy
+    // stream, every batch report satisfies `compacted == (delta_surplus
+    // x COMPACTION_HORIZON_ITERS > fold_cost)` exactly, the fold trips
+    // at least once, and the fold leaves no delta segments behind.
+    {
+        use hyt_core::COMPACTION_HORIZON_ITERS;
+        use hyt_graph::MutationBatch;
+        let base = {
+            let g = hyt_graph::generators::rmat(9, 8.0, 21, true);
+            let mut el = hyt_graph::EdgeList::new(g.num_vertices());
+            for v in 0..g.num_vertices() {
+                for (i, &d) in g.neighbors(v).iter().enumerate() {
+                    el.push_weighted(v, d, g.weights_of(v)[i]);
+                }
+            }
+            el.dedup();
+            el.to_csr()
+        };
+        let mut keys: Vec<(u32, u32)> = (0..base.num_vertices())
+            .flat_map(|v| base.neighbors(v).iter().map(move |&d| (v, d)))
+            .collect();
+        let mut sys = hyt_core::HyTGraphSystem::new(base, base_config());
+        let mut rng = 0x600du64;
+        let mut next = move || {
+            rng = rng.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) as usize
+        };
+        let mut exact = true;
+        let mut first_trip = None;
+        let mut clean_after_fold = true;
+        for round in 0..20 {
+            let mut batch = MutationBatch::new();
+            for _ in 0..keys.len().min(40) {
+                let (s, d) = keys.swap_remove(next() % keys.len());
+                batch.delete(s, d);
+            }
+            // hyt-lint: allow(unwrap-in-lib) -- every scripted delete targets a still-present edge
+            let rep = sys.apply_mutations(&batch).unwrap();
+            exact &=
+                rep.compacted == (rep.delta_surplus * COMPACTION_HORIZON_ITERS > rep.fold_cost);
+            if rep.compacted {
+                first_trip.get_or_insert(round);
+                clean_after_fold &=
+                    sys.graph().delta_partitions().is_empty() && sys.delta_surplus() == 0.0;
+            }
+        }
+        out.push(CheckResult::new(
+            "Streaming mutations: compaction fires exactly when surplus x horizon beats the fold",
+            exact && first_trip.is_some() && clean_after_fold,
+            format!(
+                "20 delete-heavy batches: trigger identity held on every report ({exact}); \
+                 first fold at round {first_trip:?}; delta segments empty after each fold: \
+                 {clean_after_fold}"
             ),
         ));
     }

@@ -10,6 +10,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod hyperball;
 pub mod multigpu;
+pub mod mutate;
 pub mod nvlink;
 pub mod perf;
 pub mod placement;
@@ -130,6 +131,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "session",
             about: "extension: resident session service — quotes, coalesced cohorts, mixed stream",
             run: session::run,
+        },
+        Experiment {
+            name: "mutate",
+            about: "extension: streaming mutations — delta pricing, incremental repricing, session barrier",
+            run: mutate::run,
         },
         Experiment {
             name: "placement",

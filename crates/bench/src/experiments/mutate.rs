@@ -1,0 +1,209 @@
+//! Extension experiment: streaming graph mutations through the
+//! delta-CSR layer (ISSUE 10).
+//!
+//! The resident system absorbs [`hyt_graph::MutationBatch`]es between
+//! queries: inserts and deletes land in per-partition delta segments,
+//! only the touched partitions lose their cached sweep prices, and the
+//! reactivation frontier seeds the next run instead of a cold restart.
+//! Each batch is priced — the per-sweep surplus of carrying the deltas
+//! against the one-off cost of folding them into a fresh base — and the
+//! fold triggers exactly when
+//! `delta_surplus × COMPACTION_HORIZON_ITERS > fold_cost`. Three views:
+//!
+//! 1. **Mutation stream** — a delete-heavy stream over a skewed graph:
+//!    per-batch dirty partitions, reactivation frontier, the priced
+//!    surplus/fold race, and the round where compaction trips.
+//! 2. **Incremental repricing** — after a localized batch, how many
+//!    partitions the next sweep actually reprices vs a cold system
+//!    pricing everything.
+//! 3. **Session barrier** — a mutation riding the resident query
+//!    service: FIFO barrier semantics (runs alone, width 1) and a
+//!    quote that carries the post-batch delta surplus.
+//!
+//! Set `REPRO_SMOKE=1` for a narrower stream in CI.
+
+use crate::context::{base_config, Ctx};
+use crate::table::{secs, Table};
+use hyt_algos::AlgoBackend;
+use hyt_core::session::{QueryKind, QueryOutput, SessionConfig};
+use hyt_core::{
+    HyTGraphConfig, HyTGraphSystem, SessionService, SystemKind, TopologyKind, ValueLayout,
+    COMPACTION_HORIZON_ITERS,
+};
+use hyt_graph::{generators, Csr, MutationBatch};
+
+fn device_config(d: usize) -> HyTGraphConfig {
+    let mut c = SystemKind::HyTGraph.configure(base_config());
+    c.num_devices = d;
+    c.topology = TopologyKind::Ring;
+    c.threads = 1; // bit-reproducible host kernels
+    c
+}
+
+/// A duplicate-free weighted stream base: every `(src, dst)` appears
+/// once, so scripted deletes are unambiguous.
+fn stream_base(scale: u32) -> Csr {
+    let g = generators::rmat(scale, 8.0, 21, true);
+    let mut el = hyt_graph::EdgeList::new(g.num_vertices());
+    for v in 0..g.num_vertices() {
+        for (i, &d) in g.neighbors(v).iter().enumerate() {
+            el.push_weighted(v, d, g.weights_of(v)[i]);
+        }
+    }
+    el.dedup();
+    el.to_csr()
+}
+
+/// Regenerate the streaming-mutation tables.
+pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
+    let smoke = std::env::var("REPRO_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut out = Vec::new();
+
+    // 1. The delete-heavy stream: watch the priced surplus/fold race.
+    // The stream walks the key space span by span (working ids are
+    // original ids here — no hub permutation). Carrying one partition's
+    // delta segment costs about one saturated-TLP round trip per sweep,
+    // which stays below the one-off fold of the whole base; when the
+    // stream crosses into a second span the carried cost doubles,
+    // outprices the fold, and the system compacts — then the race
+    // restarts on the rebuilt base.
+    let base = stream_base(14);
+    let mut c = device_config(2);
+    c.contribution_scheduling = false;
+    let mut sys = HyTGraphSystem::new(base.clone(), c);
+    let mut keys: Vec<(u32, u32)> = (0..base.num_vertices())
+        .flat_map(|v| base.neighbors(v).iter().map(move |&d| (v, d)))
+        .collect();
+    keys.sort_unstable_by_key(|&(s, d)| (sys.graph().owner_of(s), s, d));
+    keys.reverse(); // pop() walks spans in ascending partition order
+    let rounds = if smoke { 6 } else { 14 };
+    let per_round = 1000;
+    let mut t = Table::new(
+        format!(
+            "Mutation stream ({} vertices, {} edges, D=2 ring): priced delta surplus vs fold",
+            base.num_vertices(),
+            base.num_edges()
+        ),
+        &[
+            "round",
+            "deletes",
+            "dirty parts",
+            "reactivated",
+            "surplus (RTT/sweep)",
+            "fold (RTT)",
+            "horizon x surplus",
+            "compacted",
+        ],
+    );
+    for round in 0..rounds {
+        let mut batch = MutationBatch::new();
+        while batch.len() < per_round {
+            let Some((s, d)) = keys.pop() else { break };
+            batch.delete(s, d);
+        }
+        // hyt-lint: allow(unwrap-in-lib) -- every scripted delete targets a still-present edge
+        let rep = sys.apply_mutations(&batch).unwrap();
+        t.row(vec![
+            round.to_string(),
+            rep.applied.to_string(),
+            format!("{}/{}", rep.dirty_partitions.len(), sys.num_partitions()),
+            rep.reactivated.len().to_string(),
+            format!("{:.2e}", rep.delta_surplus),
+            format!("{:.2e}", rep.fold_cost),
+            format!("{:.2e}", rep.delta_surplus * COMPACTION_HORIZON_ITERS),
+            if rep.compacted { "YES".into() } else { "-".into() },
+        ]);
+    }
+    out.push(t);
+
+    // 2. Incremental repricing after a localized batch.
+    let mut sys = HyTGraphSystem::new(
+        stream_base(11),
+        HyTGraphConfig { contribution_scheduling: false, ..base_config() },
+    );
+    let layout = ValueLayout::of::<u32>();
+    sys.price_full_sweep(true, layout);
+    let cold = sys.sweep_repriced();
+    let mut batch = MutationBatch::new();
+    batch.insert_weighted(0, 1, 3).insert_weighted(1, 0, 9);
+    // hyt-lint: allow(unwrap-in-lib) -- inserting fresh edges between vertices 0 and 1 cannot fail
+    let rep = sys.apply_mutations(&batch).unwrap();
+    let before = sys.sweep_repriced();
+    sys.price_full_sweep(true, layout);
+    let incremental = sys.sweep_repriced() - before;
+    let mut t = Table::new(
+        "Incremental repricing: partitions priced per sweep",
+        &["sweep", "partitions repriced", "of total"],
+    );
+    t.row(vec!["cold build".into(), cold.to_string(), format!("{}/{}", cold, cold)]);
+    t.row(vec![
+        "after localized batch".into(),
+        incremental.to_string(),
+        format!("{}/{}", incremental, cold),
+    ]);
+    let before = sys.sweep_repriced();
+    sys.price_full_sweep(true, layout);
+    t.row(vec![
+        "clean re-sweep".into(),
+        (sys.sweep_repriced() - before).to_string(),
+        format!("{}/{}", sys.sweep_repriced() - before, cold),
+    ]);
+    out.push(t);
+    debug_assert_eq!(incremental, rep.dirty_partitions.len() as u64);
+
+    // 3. A mutation as a FIFO barrier in the resident session service.
+    let g = stream_base(10);
+    let sys = HyTGraphSystem::new(g.clone(), device_config(4));
+    let mut svc = SessionService::new(
+        sys,
+        AlgoBackend,
+        SessionConfig { max_batch: 4, admission_budget: f64::INFINITY, max_queue: 64 },
+    );
+    svc.submit(QueryKind::Bfs(0));
+    svc.submit(QueryKind::Bfs(1));
+    let mut batch = MutationBatch::new();
+    batch.insert_weighted(0, 2, 5).insert_weighted(2, 0, 5);
+    svc.submit(QueryKind::Mutate(batch));
+    svc.submit(QueryKind::Bfs(2));
+    if !smoke {
+        svc.submit(QueryKind::Sssp(0));
+    }
+    let done = svc.drain();
+    let mut t = Table::new(
+        "Session barrier: a mutation in the query stream runs alone",
+        &["query", "kind", "quote (RTTs)", "cohort", "width", "outcome"],
+    );
+    for q in &done {
+        let outcome = match &q.output {
+            QueryOutput::Mutation(m) => format!(
+                "applied {} (dirty {}, reactivated {}{})",
+                m.applied,
+                m.dirty_partitions.len(),
+                m.reactivated,
+                if m.compacted { ", compacted" } else { "" }
+            ),
+            QueryOutput::Distances(v) => {
+                format!("{} reached", v.iter().filter(|&&d| d != u32::MAX).count())
+            }
+            QueryOutput::Scores(v) => format!("{} scores", v.len()),
+        };
+        t.row(vec![
+            q.id.0.to_string(),
+            match &q.kind {
+                QueryKind::Mutate(b) => format!("Mutate[{} ops]", b.len()),
+                k => format!("{k:?}"),
+            },
+            format!("{:.3}", q.stats.quote.sweep_rtt),
+            q.stats.batch.to_string(),
+            q.stats.batch_width.to_string(),
+            outcome,
+        ]);
+    }
+    out.push(t);
+
+    let s = svc.stats();
+    let mut t = Table::new("Session totals", &["completed", "cohorts", "session clock"]);
+    t.row(vec![s.completed.to_string(), s.batches.to_string(), secs(s.clock)]);
+    out.push(t);
+    out
+}

@@ -137,13 +137,13 @@ pub fn run(_ctx: &mut Ctx) -> Vec<Table> {
         ("PageRank", QueryKind::PageRank),
         ("HyperBall", QueryKind::HyperBall),
     ] {
-        let shape = AlgoBackend.query_shape(kind);
+        let shape = AlgoBackend.query_shape(&kind);
         t.row(vec![
             name.into(),
             shape.layout.lanes.to_string(),
             shape.layout.wire_bytes.to_string(),
             if shape.needs_weights { "yes".into() } else { "no".into() },
-            format!("{:.3}", svc.quote(kind).sweep_rtt),
+            format!("{:.3}", svc.quote(&kind).sweep_rtt),
         ]);
     }
     out.push(t);

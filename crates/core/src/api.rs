@@ -133,9 +133,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Upper bound on [`VertexValue::LANES`], so lane staging can use fixed
-/// stack buffers (16 lanes = 128 bytes of state per vertex, far beyond
-/// any current program).
-pub const MAX_VALUE_LANES: usize = 16;
+/// stack buffers (512 lanes = 4 KiB of state per vertex — sized for the
+/// widest HyperBall precision, `p = 12` ⇒ 4096 one-byte registers).
+pub const MAX_VALUE_LANES: usize = 512;
 
 /// Bytes of the vertex-id half of an exchange record (a `u32` id).
 pub const EXCHANGE_ID_BYTES: u64 = 4;

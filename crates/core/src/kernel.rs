@@ -19,13 +19,14 @@
 
 use crate::api::{EdgeCtx, Values, VertexProgram};
 use hyt_engines::CompactedSubgraph;
-use hyt_graph::{Csr, Frontier, VertexId};
+use hyt_graph::{AdjacencyView, Frontier, VertexId};
 
 /// Where a kernel reads its edges from.
 #[derive(Clone, Copy)]
 pub enum EdgeSource<'a> {
-    /// The (GPU-resident copy of the) CSR: filter, zero-copy, unified.
-    Csr(&'a Csr),
+    /// The (GPU-resident copy of the) adjacency — base CSR or delta view:
+    /// filter, zero-copy, unified.
+    Graph(AdjacencyView<'a>),
     /// A compacted subgraph gathered by ExpTM-compaction. Entry `i`
     /// corresponds to the `i`-th vertex of the kernel's active list.
     Compacted(&'a CompactedSubgraph),
@@ -151,18 +152,12 @@ fn scatter_one<P: VertexProgram>(
         }
     };
     let out_degree = match source {
-        EdgeSource::Csr(g) => g.out_degree(u),
+        EdgeSource::Graph(g) => g.out_degree(u),
         EdgeSource::Compacted(c) => c.offsets[i + 1] - c.offsets[i],
     };
     let weighted_degree = if P::NEEDS_WEIGHTED_DEGREE {
         match source {
-            EdgeSource::Csr(g) => {
-                if g.is_weighted() {
-                    g.weights_of(u).iter().map(|&w| w as u64).sum()
-                } else {
-                    out_degree
-                }
-            }
+            EdgeSource::Graph(g) => g.weighted_degree(u),
             EdgeSource::Compacted(c) => match &c.weights {
                 Some(ws) => ws[c.offsets[i] as usize..c.offsets[i + 1] as usize]
                     .iter()
@@ -187,7 +182,7 @@ fn scatter_one<P: VertexProgram>(
         }
     };
     match source {
-        EdgeSource::Csr(g) => {
+        EdgeSource::Graph(g) => {
             for (dst, w) in g.edges_of(u) {
                 deliver(dst, w);
             }
@@ -234,7 +229,7 @@ mod tests {
         let g = generators::chain(5, true);
         let values = Values::init(&Mini, 5);
         let next = Frontier::new(5);
-        let stats = run_kernel(&Mini, EdgeSource::Csr(&g), &[0], &values, &next, None, 2);
+        let stats = run_kernel(&Mini, EdgeSource::Graph(g.view()), &[0], &values, &next, None, 2);
         assert_eq!(stats.edges_processed, 1);
         assert_eq!(stats.activations, 1);
         assert_eq!(values.get(1), 1);
@@ -261,7 +256,15 @@ mod tests {
             // Two sweeps over everything: enough to propagate 2 hops.
             for _ in 0..2 {
                 let snap = values.snapshot();
-                run_kernel(&Mini, EdgeSource::Csr(&g), &all, &values, &next, Some(&snap), threads);
+                run_kernel(
+                    &Mini,
+                    EdgeSource::Graph(g.view()),
+                    &all,
+                    &values,
+                    &next,
+                    Some(&snap),
+                    threads,
+                );
             }
             values.snapshot()
         };
@@ -279,14 +282,14 @@ mod tests {
         let g = generators::rmat(9, 8.0, 5, true);
         let nv = g.num_vertices();
         let active: Vec<u32> = (0..nv).step_by(3).collect();
-        let compacted = hyt_engines::compaction::compact(&g, &active, 4);
+        let compacted = hyt_engines::compaction::compact(g.view(), &active, 4);
 
         let via_csr = {
             let values = Values::init(&Mini, nv);
             values.set(0, 0);
             let snap = values.snapshot();
             let next = Frontier::new(nv);
-            run_kernel(&Mini, EdgeSource::Csr(&g), &active, &values, &next, Some(&snap), 4);
+            run_kernel(&Mini, EdgeSource::Graph(g.view()), &active, &values, &next, Some(&snap), 4);
             (values.snapshot(), next.to_vec())
         };
         let via_compacted = {
@@ -316,14 +319,14 @@ mod tests {
         let values = Values::init(&Mini, 3);
         let next = Frontier::new(3);
         let snap = values.snapshot();
-        run_kernel(&Mini, EdgeSource::Csr(&g), &[0, 1], &values, &next, Some(&snap), 1);
+        run_kernel(&Mini, EdgeSource::Graph(g.view()), &[0, 1], &values, &next, Some(&snap), 1);
         assert_eq!(values.get(1), 1);
         assert_eq!(values.get(2), u32::MAX);
         // Async mode (sequential visibility): 1 sees the fresh value.
         let values2 = Values::init(&Mini, 3);
         let next2 = Frontier::new(3);
-        run_kernel(&Mini, EdgeSource::Csr(&g), &[0], &values2, &next2, None, 1);
-        run_kernel(&Mini, EdgeSource::Csr(&g), &[1], &values2, &next2, None, 1);
+        run_kernel(&Mini, EdgeSource::Graph(g.view()), &[0], &values2, &next2, None, 1);
+        run_kernel(&Mini, EdgeSource::Graph(g.view()), &[1], &values2, &next2, None, 1);
         assert_eq!(values2.get(2), 2);
     }
 
@@ -332,7 +335,7 @@ mod tests {
         let g = generators::chain(3, true);
         let values = Values::init(&Mini, 3);
         let next = Frontier::new(3);
-        let stats = run_kernel(&Mini, EdgeSource::Csr(&g), &[], &values, &next, None, 4);
+        let stats = run_kernel(&Mini, EdgeSource::Graph(g.view()), &[], &values, &next, None, 4);
         assert_eq!(stats, KernelStats::default());
         assert!(next.is_empty());
     }
@@ -343,7 +346,7 @@ mod tests {
         let g = generators::star(100, true);
         let values = Values::init(&Mini, 100);
         let next = Frontier::new(100);
-        let stats = run_kernel(&Mini, EdgeSource::Csr(&g), &[0], &values, &next, None, 4);
+        let stats = run_kernel(&Mini, EdgeSource::Graph(g.view()), &[0], &values, &next, None, 4);
         assert_eq!(stats.activations, 99);
         assert_eq!(next.count(), 99);
     }

@@ -64,12 +64,15 @@ pub use config::{AsyncMode, HyTGraphConfig, OverlapWindow};
 pub use cost::{partition_costs, partition_costs_sized, PartitionCosts};
 pub use hyt_engines::EngineKind;
 pub use hyt_sim::{Duplex, Interconnect, LinkSpec, Route, TopologyKind, ROUTE_BREAKPOINT_LADDER};
-pub use runner::{HyTGraphSystem, MigrationEvent, MIGRATION_HORIZON_ITERS};
+pub use runner::{
+    HyTGraphSystem, MigrationEvent, MutationReport, COMPACTION_HORIZON_ITERS,
+    MIGRATION_HORIZON_ITERS,
+};
 pub use select::{DeviceBudgets, SelectParams, Selection};
 pub use session::{
-    Admission, CohortOutcome, CompletedQuery, CostQuote, QueryId, QueryKind, QueryOutput,
-    QueryShape, QueryStats, RejectReason, SessionBackend, SessionConfig, SessionService,
-    SessionStats,
+    Admission, CohortOutcome, CompletedQuery, CostQuote, MutationOutcome, QueryId, QueryKind,
+    QueryOutput, QueryShape, QueryStats, RejectReason, SessionBackend, SessionConfig,
+    SessionService, SessionStats,
 };
 pub use stats::{DeviceIterationStats, EngineMix, ExchangeStats, IterationStats, RunResult};
 pub use systems::SystemKind;

@@ -341,7 +341,7 @@ mod tests {
             f.insert(v);
         }
         let pcie = PcieModel::pcie3();
-        let acts = hyt_engines::analyze_partitions(&g, &ps, &f, &pcie, g.bytes_per_edge(), 4);
+        let acts = hyt_engines::analyze_partitions(g.view(), &ps, &f, &pcie, g.bytes_per_edge(), 4);
         let params = SelectParams::default();
         for sel in [Selection::Hybrid, Selection::FilterOnly, Selection::ZeroCopyOnly] {
             let global = select_engines(&acts, &pcie, 4, sel, &params);
@@ -377,7 +377,7 @@ mod tests {
             f.insert(v);
         }
         let pcie = PcieModel::pcie3();
-        let acts = hyt_engines::analyze_partitions(&g, &ps, &f, &pcie, 4, 2);
+        let acts = hyt_engines::analyze_partitions(g.view(), &ps, &f, &pcie, 4, 2);
         let params = SelectParams::default();
         let plan = DevicePlan::build(&ps, 4, DeviceAssignment::EdgeBalanced, 0);
         let a = select_engines_sharded(&acts, &plan, &pcie, 4, Selection::Hybrid, &params);

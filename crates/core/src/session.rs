@@ -43,12 +43,13 @@
 use crate::api::ValueLayout;
 use crate::runner::HyTGraphSystem;
 use crate::stats::ExchangeStats;
-use hyt_graph::VertexId;
+use hyt_graph::{MutationBatch, VertexId};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-/// What a point query asks of the resident system.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// What a point query asks of the resident system. (`Clone` but not
+/// `Copy`: a mutation request owns its batch.)
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum QueryKind {
     /// Hop depths from one source vertex (original-id space).
     Bfs(VertexId),
@@ -58,6 +59,10 @@ pub enum QueryKind {
     PageRank,
     /// A HyperBall snapshot: per-vertex converged ball-size estimates.
     HyperBall,
+    /// A batch of edge mutations (original-id space), serialized against
+    /// in-flight cohorts: it never coalesces, and it is a FIFO barrier —
+    /// no admitted query behind it may jump it into an earlier cohort.
+    Mutate(MutationBatch),
 }
 
 /// Opaque per-query handle, unique within one service.
@@ -137,6 +142,27 @@ pub enum QueryOutput {
     Distances(Vec<u32>),
     /// Real-valued scores per vertex (ranks, ball-size estimates).
     Scores(Vec<f64>),
+    /// What a mutation request did to the resident graph.
+    Mutation(MutationOutcome),
+}
+
+/// The observable outcome of one [`QueryKind::Mutate`] request (the
+/// session-level projection of
+/// [`crate::runner::MutationReport`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MutationOutcome {
+    /// Ops applied (the full batch on success).
+    pub applied: usize,
+    /// Partitions whose adjacency changed, ascending.
+    pub dirty_partitions: Vec<u32>,
+    /// Size of the reactivation frontier (touched sources plus incident
+    /// boundary vertices).
+    pub reactivated: usize,
+    /// Whether the batch tripped the priced compaction trigger.
+    pub compacted: bool,
+    /// The typed error's rendering when an op failed (the applied prefix
+    /// stays applied).
+    pub error: Option<String>,
 }
 
 /// What one executed cohort reports back to the service.
@@ -161,15 +187,16 @@ pub struct CohortOutcome {
 /// cohorts on the resident system.
 pub trait SessionBackend {
     /// Pricing shape of one query of `kind` when run alone.
-    fn query_shape(&self, kind: QueryKind) -> QueryShape;
+    fn query_shape(&self, kind: &QueryKind) -> QueryShape;
 
     /// Supported cohort widths in ascending order. Must contain 1;
     /// widths above [`SessionConfig::max_batch`] are never used.
     fn widths(&self) -> &[usize];
 
     /// Whether two in-flight queries may ride one multi-source
-    /// frontier. Must be symmetric.
-    fn coalesces(&self, a: QueryKind, b: QueryKind) -> bool;
+    /// frontier. Must be symmetric, and must refuse
+    /// [`QueryKind::Mutate`] pairs (mutations run alone by contract).
+    fn coalesces(&self, a: &QueryKind, b: &QueryKind) -> bool;
 
     /// Execute one cohort (its length is one of [`widths`]
     /// (SessionBackend::widths)) on the resident system, returning one
@@ -254,7 +281,7 @@ pub struct SessionStats {
 }
 
 /// An accepted-but-unserved query.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 struct Pending {
     id: QueryId,
     kind: QueryKind,
@@ -317,16 +344,26 @@ impl<B: SessionBackend> SessionService<B> {
 
     /// Price a query of `kind` without submitting it: the worst-case
     /// per-iteration transfer cost of its shape on the resident graph,
-    /// cached per shape.
-    pub fn quote(&mut self, kind: QueryKind) -> CostQuote {
+    /// cached per shape. A [`QueryKind::Mutate`] is quoted through the
+    /// same formulas (1)–(3) sweep (the repricing work it can force is
+    /// bounded by one all-active sweep at the narrow shape) plus the
+    /// current delta surplus — a graph already carrying deltas quotes
+    /// mutations dearer, which is exactly the pressure that amortises
+    /// into the compaction trigger.
+    pub fn quote(&mut self, kind: &QueryKind) -> CostQuote {
         let shape = self.backend.query_shape(kind);
         let key = (shape.needs_weights, shape.layout.lanes, shape.layout.wire_bytes);
-        let system = &self.system;
-        let sweep = *self
-            .quote_cache
-            .entry(key)
-            .or_insert_with(|| system.price_full_sweep(shape.needs_weights, shape.layout));
-        CostQuote { sweep_rtt: sweep }
+        let sweep = match self.quote_cache.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = self.system.price_full_sweep(shape.needs_weights, shape.layout);
+                self.quote_cache.insert(key, s);
+                s
+            }
+        };
+        let surplus =
+            if matches!(kind, QueryKind::Mutate(_)) { self.system.delta_surplus() } else { 0.0 };
+        CostQuote { sweep_rtt: sweep + surplus }
     }
 
     /// Submit a query: quoted, then admitted / queued / rejected (see
@@ -334,7 +371,7 @@ impl<B: SessionBackend> SessionService<B> {
     /// queue, even if its own quote would fit the budget — admission
     /// order is arrival order.
     pub fn submit(&mut self, kind: QueryKind) -> Admission {
-        let quote = self.quote(kind);
+        let quote = self.quote(&kind);
         if quote.sweep_rtt > self.config.admission_budget {
             return Admission::Rejected { reason: RejectReason::OverBudget, quote };
         }
@@ -367,20 +404,27 @@ impl<B: SessionBackend> SessionService<B> {
     /// Execute the next cohort: the admitted queue's head plus up to
     /// `width − 1` coalescible admitted followers (FIFO, skipping
     /// incompatible entries without reordering them), at the largest
-    /// backend width that fits. Returns the completed queries in cohort
-    /// order, or `None` when nothing is pending.
+    /// backend width that fits. A [`QueryKind::Mutate`] anywhere in the
+    /// admitted queue is a barrier: the follower scan stops at the first
+    /// one, so no query admitted behind a mutation can overtake it into
+    /// an earlier cohort, and the mutation itself always runs alone.
+    /// Returns the completed queries in cohort order, or `None` when
+    /// nothing is pending.
     pub fn run_next(&mut self) -> Option<Vec<CompletedQuery>> {
         self.promote();
         let head = self.admitted.pop_front()?;
         self.admitted_cost -= head.quote.sweep_rtt;
-        // Indices of coalescible followers, FIFO.
-        let compat: Vec<usize> = self
-            .admitted
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| self.backend.coalesces(head.kind, p.kind))
-            .map(|(i, _)| i)
-            .collect();
+        // Indices of coalescible followers, FIFO, stopping at the first
+        // mutation barrier.
+        let mut compat: Vec<usize> = Vec::new();
+        for (i, p) in self.admitted.iter().enumerate() {
+            if matches!(p.kind, QueryKind::Mutate(_)) {
+                break;
+            }
+            if self.backend.coalesces(&head.kind, &p.kind) {
+                compat.push(i);
+            }
+        }
         let mut width = 1usize;
         for &w in self.backend.widths() {
             if w <= self.config.max_batch && w <= 1 + compat.len() {
@@ -402,7 +446,7 @@ impl<B: SessionBackend> SessionService<B> {
         followers.reverse();
         cohort.extend(followers);
 
-        let kinds: Vec<QueryKind> = cohort.iter().map(|p| p.kind).collect();
+        let kinds: Vec<QueryKind> = cohort.iter().map(|p| p.kind.clone()).collect();
         let start = self.clock;
         let outcome = self.backend.execute(&mut self.system, &kinds);
         assert_eq!(
@@ -410,6 +454,13 @@ impl<B: SessionBackend> SessionService<B> {
             kinds.len(),
             "backend must demultiplex one output per cohort member"
         );
+        if kinds.iter().any(|k| matches!(k, QueryKind::Mutate(_))) {
+            // The graph just changed shape: every cached sweep is
+            // suspect. The system's own per-partition cache survives for
+            // clean partitions — re-quoting a shape re-prices only the
+            // dirty ones.
+            self.quote_cache.clear();
+        }
         self.batches += 1;
         self.clock += outcome.total_time;
         let share = outcome.exchange_payload_bytes as f64 / kinds.len() as f64;
@@ -418,7 +469,7 @@ impl<B: SessionBackend> SessionService<B> {
             .zip(outcome.outputs)
             .map(|(p, output)| CompletedQuery {
                 id: p.id,
-                kind: p.kind,
+                kind: p.kind.clone(),
                 output,
                 stats: QueryStats {
                     arrival: p.arrival,
@@ -488,9 +539,9 @@ mod tests {
     struct MockBackend;
 
     impl SessionBackend for MockBackend {
-        fn query_shape(&self, kind: QueryKind) -> QueryShape {
+        fn query_shape(&self, kind: &QueryKind) -> QueryShape {
             match kind {
-                QueryKind::Bfs(_) => {
+                QueryKind::Bfs(_) | QueryKind::Mutate(_) => {
                     QueryShape { layout: ValueLayout::of::<u32>(), needs_weights: false }
                 }
                 QueryKind::Sssp(_) => {
@@ -505,15 +556,34 @@ mod tests {
         fn widths(&self) -> &[usize] {
             &[1, 2, 4]
         }
-        fn coalesces(&self, a: QueryKind, b: QueryKind) -> bool {
+        fn coalesces(&self, a: &QueryKind, b: &QueryKind) -> bool {
             matches!((a, b), (QueryKind::Bfs(_), QueryKind::Bfs(_)))
         }
-        fn execute(&self, _system: &mut HyTGraphSystem, cohort: &[QueryKind]) -> CohortOutcome {
+        fn execute(&self, system: &mut HyTGraphSystem, cohort: &[QueryKind]) -> CohortOutcome {
             CohortOutcome {
                 outputs: cohort
                     .iter()
                     .map(|k| match k {
                         QueryKind::Bfs(s) | QueryKind::Sssp(s) => QueryOutput::Distances(vec![*s]),
+                        QueryKind::Mutate(batch) => {
+                            let r = system.apply_mutations(batch);
+                            QueryOutput::Mutation(match r {
+                                Ok(rep) => MutationOutcome {
+                                    applied: rep.applied,
+                                    dirty_partitions: rep.dirty_partitions,
+                                    reactivated: rep.reactivated.len(),
+                                    compacted: rep.compacted,
+                                    error: None,
+                                },
+                                Err(e) => MutationOutcome {
+                                    applied: 0,
+                                    dirty_partitions: Vec::new(),
+                                    reactivated: 0,
+                                    compacted: false,
+                                    error: Some(e.to_string()),
+                                },
+                            })
+                        }
                         _ => QueryOutput::Scores(vec![1.0]),
                     })
                     .collect(),
@@ -535,12 +605,12 @@ mod tests {
     #[test]
     fn quotes_are_positive_shape_cached_and_weight_sensitive() {
         let mut s = service(1e12, 4);
-        let bfs = s.quote(QueryKind::Bfs(0));
+        let bfs = s.quote(&QueryKind::Bfs(0));
         assert!(bfs.sweep_rtt > 0.0);
         // Same shape, different source: the cached sweep, bitwise.
-        assert_eq!(s.quote(QueryKind::Bfs(7)), bfs);
+        assert_eq!(s.quote(&QueryKind::Bfs(7)), bfs);
         // SSSP ships weights: strictly dearer on a weighted graph.
-        assert!(s.quote(QueryKind::Sssp(0)).sweep_rtt > bfs.sweep_rtt);
+        assert!(s.quote(&QueryKind::Sssp(0)).sweep_rtt > bfs.sweep_rtt);
         assert_eq!(s.quote_cache.len(), 2);
     }
 
@@ -554,7 +624,7 @@ mod tests {
         let c1 = s.run_next().unwrap();
         assert_eq!(c1.len(), 4);
         assert_eq!(
-            c1.iter().map(|q| q.kind).collect::<Vec<_>>(),
+            c1.iter().map(|q| q.kind.clone()).collect::<Vec<_>>(),
             (0..4).map(QueryKind::Bfs).collect::<Vec<_>>(),
             "cohort preserves FIFO order"
         );
@@ -591,7 +661,7 @@ mod tests {
         // Head Bfs(0) coalesces around the PageRank in the middle.
         let c1 = s.run_next().unwrap();
         assert_eq!(
-            c1.iter().map(|q| q.kind).collect::<Vec<_>>(),
+            c1.iter().map(|q| q.kind.clone()).collect::<Vec<_>>(),
             vec![QueryKind::Bfs(0), QueryKind::Bfs(2)]
         );
         // The skipped PageRank is still next, not displaced.
@@ -602,7 +672,7 @@ mod tests {
     #[test]
     fn budget_queues_then_rejects_with_quote() {
         let mut s = service(1e12, 2);
-        let q = s.quote(QueryKind::Bfs(0)).sweep_rtt;
+        let q = s.quote(&QueryKind::Bfs(0)).sweep_rtt;
         // Budget fits exactly two quotes.
         s.config.admission_budget = 2.0 * q + 1e-9;
         assert!(matches!(s.submit(QueryKind::Bfs(0)), Admission::Admitted { .. }));
@@ -641,6 +711,87 @@ mod tests {
             a => panic!("expected Rejected, got {a:?}"),
         }
         assert!(s.run_next().is_none());
+    }
+
+    #[test]
+    fn mutation_is_a_fifo_barrier_that_runs_alone() {
+        let mut s = service(1e12, 16);
+        s.submit(QueryKind::Bfs(0));
+        s.submit(QueryKind::Bfs(1));
+        let mut batch = MutationBatch::new();
+        batch.insert_weighted(0, 5, 2);
+        s.submit(QueryKind::Mutate(batch));
+        s.submit(QueryKind::Bfs(2));
+        s.submit(QueryKind::Bfs(3));
+        // Bfs(2)/Bfs(3) sit behind the barrier: the first cohort may not
+        // pull them forward even though width 4 is available.
+        let c1 = s.run_next().unwrap();
+        assert_eq!(
+            c1.iter().map(|q| q.kind.clone()).collect::<Vec<_>>(),
+            vec![QueryKind::Bfs(0), QueryKind::Bfs(1)]
+        );
+        // The mutation runs alone.
+        let c2 = s.run_next().unwrap();
+        assert_eq!(c2.len(), 1);
+        assert!(matches!(c2[0].kind, QueryKind::Mutate(_)));
+        assert_eq!(c2[0].stats.batch_width, 1);
+        match &c2[0].output {
+            QueryOutput::Mutation(m) => {
+                assert_eq!(m.applied, 1);
+                assert!(m.error.is_none());
+            }
+            o => panic!("expected a mutation outcome, got {o:?}"),
+        }
+        // The queries behind the barrier coalesce normally afterwards.
+        let c3 = s.run_next().unwrap();
+        assert_eq!(
+            c3.iter().map(|q| q.kind.clone()).collect::<Vec<_>>(),
+            vec![QueryKind::Bfs(2), QueryKind::Bfs(3)]
+        );
+    }
+
+    #[test]
+    fn mutation_quote_carries_the_delta_surplus() {
+        let mut s = service(1e12, 16);
+        let clean = s.quote(&QueryKind::Mutate(MutationBatch::new()));
+        // Clean graph: no deltas, the mutation quote is exactly the
+        // narrow weight-blind sweep (same shape the backend assigns BFS).
+        assert_eq!(clean, s.quote(&QueryKind::Bfs(0)));
+        let mut batch = MutationBatch::new();
+        batch.insert_weighted(0, 3, 1).insert_weighted(7, 1, 4);
+        s.submit(QueryKind::Mutate(batch));
+        let done = s.drain();
+        assert_eq!(done.len(), 1);
+        // The mutate cohort dropped every cached per-shape quote.
+        assert!(s.quote_cache.is_empty());
+        // Re-quoting: a mutation now prices the sweep plus the live
+        // surplus of the deltas the last batch left behind (zero again
+        // only if it compacted).
+        let mutate = s.quote(&QueryKind::Mutate(MutationBatch::new()));
+        let bfs = s.quote(&QueryKind::Bfs(0));
+        let surplus = s.system.delta_surplus();
+        assert!(surplus > 0.0, "the insert batch must leave deltas behind");
+        let gap = mutate.sweep_rtt - bfs.sweep_rtt;
+        assert!(
+            (gap - surplus).abs() <= 1e-9 * surplus.max(1.0),
+            "quote gap {gap} must be the delta surplus {surplus}"
+        );
+    }
+
+    #[test]
+    fn failed_mutation_reports_error_through_the_outcome() {
+        let mut s = service(1e12, 16);
+        let mut batch = MutationBatch::new();
+        batch.insert_weighted(0, 1, 2).delete(250, 251); // missing edge
+        s.submit(QueryKind::Mutate(batch));
+        let done = s.drain();
+        match &done[0].output {
+            QueryOutput::Mutation(m) => {
+                let err = m.error.as_deref().expect("the delete must fail");
+                assert!(err.contains("250"), "{err}");
+            }
+            o => panic!("expected a mutation outcome, got {o:?}"),
+        }
     }
 
     #[test]

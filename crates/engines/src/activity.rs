@@ -15,7 +15,7 @@
 //! back"); we parallelise across partitions with scoped threads, which
 //! plays the same role on the simulated platform.
 
-use hyt_graph::{Csr, Frontier, PartitionSet, VertexId};
+use hyt_graph::{AdjacencyView, Frontier, PartitionSet, VertexId};
 use hyt_sim::PcieModel;
 
 /// Activity snapshot of one partition in one iteration.
@@ -55,7 +55,7 @@ impl PartitionActivity {
 /// Runs on `threads` scoped worker threads (pass 1 for deterministic
 /// single-thread debugging; results are identical either way).
 pub fn analyze_partitions(
-    graph: &Csr,
+    graph: AdjacencyView<'_>,
     parts: &PartitionSet,
     frontier: &Frontier,
     pcie: &PcieModel,
@@ -96,7 +96,7 @@ pub fn analyze_partitions(
 /// Analyse a single partition (the sequential kernel of
 /// [`analyze_partitions`]).
 pub fn analyze_one(
-    graph: &Csr,
+    graph: AdjacencyView<'_>,
     parts: &PartitionSet,
     frontier: &Frontier,
     pcie: &PcieModel,
@@ -112,7 +112,7 @@ pub fn analyze_one(
         let deg = graph.out_degree(v);
         active_vertices.push(v);
         active_edges += deg;
-        let start_byte = graph.row_offset()[v as usize] * bpe;
+        let start_byte = graph.edge_offset(v) * bpe;
         zc_requests += pcie.requests_for_span(start_byte, deg * bpe);
     }
     PartitionActivity {
@@ -127,7 +127,7 @@ pub fn analyze_one(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyt_graph::generators;
+    use hyt_graph::{generators, Csr};
 
     fn setup() -> (Csr, PartitionSet, PcieModel) {
         let g = generators::rmat(10, 8.0, 7, true);
@@ -139,7 +139,7 @@ mod tests {
     fn empty_frontier_means_no_activity() {
         let (g, ps, pcie) = setup();
         let f = Frontier::new(g.num_vertices());
-        for a in analyze_partitions(&g, &ps, &f, &pcie, g.bytes_per_edge(), 4) {
+        for a in analyze_partitions(g.view(), &ps, &f, &pcie, g.bytes_per_edge(), 4) {
             assert!(!a.is_active());
             assert_eq!(a.active_edges, 0);
             assert_eq!(a.zc_requests, 0);
@@ -151,7 +151,7 @@ mod tests {
     fn full_frontier_covers_all_edges() {
         let (g, ps, pcie) = setup();
         let f = Frontier::full(g.num_vertices());
-        let acts = analyze_partitions(&g, &ps, &f, &pcie, g.bytes_per_edge(), 4);
+        let acts = analyze_partitions(g.view(), &ps, &f, &pcie, g.bytes_per_edge(), 4);
         let total: u64 = acts.iter().map(|a| a.active_edges).sum();
         assert_eq!(total, g.num_edges());
         for a in &acts {
@@ -167,8 +167,8 @@ mod tests {
         for v in (0..g.num_vertices()).step_by(3) {
             f.insert(v);
         }
-        let par = analyze_partitions(&g, &ps, &f, &pcie, g.bytes_per_edge(), 8);
-        let seq = analyze_partitions(&g, &ps, &f, &pcie, g.bytes_per_edge(), 1);
+        let par = analyze_partitions(g.view(), &ps, &f, &pcie, g.bytes_per_edge(), 8);
+        let seq = analyze_partitions(g.view(), &ps, &f, &pcie, g.bytes_per_edge(), 1);
         assert_eq!(par, seq);
     }
 
@@ -177,7 +177,7 @@ mod tests {
         let (g, ps, pcie) = setup();
         let f = Frontier::new(g.num_vertices());
         f.insert(5);
-        let acts = analyze_partitions(&g, &ps, &f, &pcie, g.bytes_per_edge(), 2);
+        let acts = analyze_partitions(g.view(), &ps, &f, &pcie, g.bytes_per_edge(), 2);
         let owner = ps.owner_of(5);
         let a = &acts[owner as usize];
         let deg = g.out_degree(5);
@@ -197,7 +197,7 @@ mod tests {
         for v in p0.vertices() {
             f.insert(v);
         }
-        let acts = analyze_partitions(&g, &ps, &f, &pcie, g.bytes_per_edge(), 4);
+        let acts = analyze_partitions(g.view(), &ps, &f, &pcie, g.bytes_per_edge(), 4);
         assert!(acts[0].is_active());
         for a in &acts[1..] {
             assert!(!a.is_active());

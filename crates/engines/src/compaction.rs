@@ -17,7 +17,7 @@
 
 use crate::activity::PartitionActivity;
 use crate::plan::{EngineKind, TaskPlan};
-use hyt_graph::{Csr, VertexId, Weight, INDEX_BYTES};
+use hyt_graph::{AdjacencyView, VertexId, Weight, INDEX_BYTES};
 use hyt_sim::{MachineModel, TransferCounters};
 
 /// A compacted subgraph: the active vertices' neighbour runs relocated
@@ -52,7 +52,7 @@ impl CompactedSubgraph {
     }
 
     /// `(neighbor, weight)` pairs of local entry `i` (weight 1 when
-    /// unweighted), mirroring [`Csr::edges_of`].
+    /// unweighted), mirroring [`hyt_graph::Csr::edges_of`].
     pub fn edges_of(&self, i: usize) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
         let nbrs = &self.col_index[range.clone()];
@@ -68,8 +68,11 @@ impl CompactedSubgraph {
 }
 
 /// Gather the neighbour runs of `active` (global ids) from `graph` into a
-/// fresh compacted subgraph, in parallel over `threads` workers.
-pub fn compact(graph: &Csr, active: &[VertexId], threads: usize) -> CompactedSubgraph {
+/// fresh compacted subgraph, in parallel over `threads` workers. The
+/// gather reads through the [`AdjacencyView`], so a mutated graph's live
+/// runs (base minus tombstones plus delta inserts) relocate exactly as a
+/// plain CSR's would.
+pub fn compact(graph: AdjacencyView<'_>, active: &[VertexId], threads: usize) -> CompactedSubgraph {
     let n = active.len();
     // Prefix-sum the output layout first.
     let mut offsets = Vec::with_capacity(n + 1);
@@ -81,7 +84,7 @@ pub fn compact(graph: &Csr, active: &[VertexId], threads: usize) -> CompactedSub
     }
     let total = running as usize;
     let mut col_index = vec![0 as VertexId; total];
-    let mut weights = graph.weights().map(|_| vec![0 as Weight; total]);
+    let mut weights = graph.is_weighted().then(|| vec![0 as Weight; total]);
 
     let threads = threads.clamp(1, n.max(1));
     let chunk = n.div_ceil(threads.max(1)).max(1);
@@ -100,10 +103,15 @@ pub fn compact(graph: &Csr, active: &[VertexId], threads: usize) -> CompactedSub
                 let mut ws = ws;
                 for (i, &v) in active[lo..hi].iter().enumerate() {
                     let run_len = (offsets[lo + i + 1] - offsets[lo + i]) as usize;
-                    cols[cursor..cursor + run_len].copy_from_slice(graph.neighbors(v));
-                    if let Some(w) = ws.as_mut() {
-                        w[cursor..cursor + run_len].copy_from_slice(graph.weights_of(v));
+                    let mut k = cursor;
+                    for (n, w) in graph.edges_of(v) {
+                        cols[k] = n;
+                        if let Some(wv) = ws.as_mut() {
+                            wv[k] = w;
+                        }
+                        k += 1;
                     }
+                    debug_assert_eq!(k, cursor + run_len, "live run length drifted mid-gather");
                     cursor += run_len;
                 }
             });
@@ -144,7 +152,7 @@ fn split_at_offsets<'a, T>(data: &'a mut [T], offsets: &[u64], chunk: usize) -> 
 /// Algorithm 1 line 6).
 pub fn plan_compaction(
     machine: &MachineModel,
-    graph: &Csr,
+    graph: AdjacencyView<'_>,
     acts: &[&PartitionActivity],
     bytes_per_edge: u64,
     threads: usize,
@@ -255,7 +263,7 @@ mod tests {
     fn compacted_edges_match_source() {
         let g = generators::rmat(9, 8.0, 3, true);
         let active: Vec<u32> = (0..g.num_vertices()).step_by(5).collect();
-        let c = compact(&g, &active, 4);
+        let c = compact(g.view(), &active, 4);
         assert_eq!(c.len(), active.len());
         for (i, &v) in active.iter().enumerate() {
             let want: Vec<_> = g.edges_of(v).collect();
@@ -268,15 +276,15 @@ mod tests {
     fn parallel_equals_sequential() {
         let g = generators::rmat(10, 6.0, 9, true);
         let active: Vec<u32> = (0..g.num_vertices()).filter(|v| v % 3 == 0).collect();
-        let seq = compact(&g, &active, 1);
-        let par = compact(&g, &active, 8);
+        let seq = compact(g.view(), &active, 1);
+        let par = compact(g.view(), &active, 8);
         assert_eq!(seq, par);
     }
 
     #[test]
     fn empty_active_set() {
         let g = generators::rmat(8, 4.0, 1, false);
-        let c = compact(&g, &[], 4);
+        let c = compact(g.view(), &[], 4);
         assert!(c.is_empty());
         assert_eq!(c.num_edges(), 0);
         assert_eq!(c.transfer_bytes(4), 0);
@@ -287,7 +295,7 @@ mod tests {
         // Formula (2): Σ Do(v)·d1 + |Ai|·d2.
         let g = generators::rmat(8, 4.0, 2, false); // unweighted: d1 = 4
         let active = vec![1u32, 5, 9];
-        let c = compact(&g, &active, 2);
+        let c = compact(g.view(), &active, 2);
         let sum_deg: u64 = active.iter().map(|&v| g.out_degree(v)).sum();
         assert_eq!(c.transfer_bytes(4), sum_deg * 4 + 3 * INDEX_BYTES);
     }
@@ -302,7 +310,7 @@ mod tests {
         }
         let machine = MachineModel::paper_platform();
         let acts = crate::activity::analyze_partitions(
-            &g,
+            g.view(),
             &ps,
             &f,
             &PcieModel::pcie3(),
@@ -310,7 +318,7 @@ mod tests {
             4,
         );
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
-        let full = plan_compaction(&machine, &g, &refs, g.bytes_per_edge(), 4);
+        let full = plan_compaction(&machine, g.view(), &refs, g.bytes_per_edge(), 4);
         let priced = price_compaction(&machine, &refs, g.bytes_per_edge());
         assert_eq!(priced.cpu_time, full.cpu_time);
         assert_eq!(priced.transfer_time, full.transfer_time);
@@ -331,7 +339,7 @@ mod tests {
         }
         let machine = MachineModel::paper_platform();
         let acts = crate::activity::analyze_partitions(
-            &g,
+            g.view(),
             &ps,
             &f,
             &PcieModel::pcie3(),
@@ -364,7 +372,7 @@ mod tests {
         }
         let machine = MachineModel::paper_platform();
         let acts = crate::activity::analyze_partitions(
-            &g,
+            g.view(),
             &ps,
             &f,
             &PcieModel::pcie3(),
@@ -372,7 +380,7 @@ mod tests {
             4,
         );
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
-        let plan = plan_compaction(&machine, &g, &refs, g.bytes_per_edge(), 4);
+        let plan = plan_compaction(&machine, g.view(), &refs, g.bytes_per_edge(), 4);
         assert_eq!(plan.kind, EngineKind::ExpCompaction);
         assert_eq!(plan.active_vertices.len(), f.count() as usize);
         assert!(plan.cpu_time > 0.0);
@@ -387,7 +395,7 @@ mod tests {
     #[test]
     fn giant_vertex_compaction() {
         let g = generators::star(10_000, false);
-        let c = compact(&g, &[0], 8);
+        let c = compact(g.view(), &[0], 8);
         assert_eq!(c.num_edges(), 9_999);
         let got: Vec<_> = c.edges_of(0).map(|(n, _)| n).collect();
         let want: Vec<_> = g.neighbors(0).to_vec();

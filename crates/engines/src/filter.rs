@@ -12,7 +12,7 @@
 
 use crate::activity::PartitionActivity;
 use crate::plan::{EngineKind, TaskPlan};
-use hyt_graph::Csr;
+use hyt_graph::AdjacencyView;
 use hyt_sim::{MachineModel, TransferCounters};
 
 /// Price an ExpTM-filter task over one or more (task-combined) partitions.
@@ -22,7 +22,7 @@ use hyt_sim::{MachineModel, TransferCounters};
 /// after the data is resident).
 pub fn plan_filter(
     machine: &MachineModel,
-    graph: &Csr,
+    graph: AdjacencyView<'_>,
     acts: &[&PartitionActivity],
     bytes_per_edge: u64,
 ) -> TaskPlan {
@@ -74,9 +74,10 @@ mod tests {
         let f = Frontier::new(g.num_vertices());
         f.insert(0); // one active vertex
         let machine = MachineModel::paper_platform();
-        let acts = analyze_partitions(&g, &ps, &f, &PcieModel::pcie3(), g.bytes_per_edge(), 2);
+        let acts =
+            analyze_partitions(g.view(), &ps, &f, &PcieModel::pcie3(), g.bytes_per_edge(), 2);
         let a = &acts[ps.owner_of(0) as usize];
-        let plan = plan_filter(&machine, &g, &[a], g.bytes_per_edge());
+        let plan = plan_filter(&machine, g.view(), &[a], g.bytes_per_edge());
         // Bytes cover the full partition, not just vertex 0's run.
         assert_eq!(plan.counters.explicit_bytes, a.total_edges * g.bytes_per_edge());
         assert!(plan.counters.explicit_bytes > g.out_degree(0) * g.bytes_per_edge());
@@ -90,9 +91,10 @@ mod tests {
         let ps = PartitionSet::build_count(&g, 8);
         let f = Frontier::full(g.num_vertices());
         let machine = MachineModel::paper_platform();
-        let acts = analyze_partitions(&g, &ps, &f, &PcieModel::pcie3(), g.bytes_per_edge(), 2);
+        let acts =
+            analyze_partitions(g.view(), &ps, &f, &PcieModel::pcie3(), g.bytes_per_edge(), 2);
         let refs: Vec<_> = acts.iter().take(3).collect();
-        let plan = plan_filter(&machine, &g, &refs, g.bytes_per_edge());
+        let plan = plan_filter(&machine, g.view(), &refs, g.bytes_per_edge());
         let want: u64 = refs.iter().map(|a| a.total_edges).sum::<u64>() * g.bytes_per_edge();
         assert_eq!(plan.counters.explicit_bytes, want);
         assert_eq!(plan.partitions, vec![0, 1, 2]);
@@ -105,8 +107,8 @@ mod tests {
         let ps = PartitionSet::build_count(&g, 4);
         let f = Frontier::full(g.num_vertices());
         let machine = MachineModel::paper_platform();
-        let acts = analyze_partitions(&g, &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
-        let plan = plan_filter(&machine, &g, &[&acts[0]], g.bytes_per_edge());
+        let acts = analyze_partitions(g.view(), &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
+        let plan = plan_filter(&machine, g.view(), &[&acts[0]], g.bytes_per_edge());
         let bytes = acts[0].total_edges * g.bytes_per_edge();
         let tlps = bytes.div_ceil(machine.pcie.tlp_payload());
         let want = machine.pcie.copy_latency + tlps as f64 * machine.pcie.rtt();

@@ -26,7 +26,7 @@ pub mod plan;
 pub mod unified;
 pub mod zero_copy;
 
-pub use activity::{analyze_partitions, PartitionActivity};
+pub use activity::{analyze_one, analyze_partitions, PartitionActivity};
 pub use compaction::CompactedSubgraph;
 pub use plan::{EngineKind, TaskPlan};
 pub use unified::UnifiedState;

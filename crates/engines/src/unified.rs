@@ -17,7 +17,7 @@
 
 use crate::activity::PartitionActivity;
 use crate::plan::{EngineKind, TaskPlan};
-use hyt_graph::Csr;
+use hyt_graph::AdjacencyView;
 use hyt_sim::{MachineModel, TransferCounters, UmCache};
 
 /// Persistent unified-memory residency state.
@@ -59,7 +59,7 @@ impl UnifiedState {
     pub fn plan_unified(
         &mut self,
         machine: &MachineModel,
-        graph: &Csr,
+        graph: AdjacencyView<'_>,
         acts: &[&PartitionActivity],
         bytes_per_edge: u64,
     ) -> TaskPlan {
@@ -73,7 +73,7 @@ impl UnifiedState {
             active_edges += a.active_edges;
             for &v in &a.active_vertices {
                 active_vertices.push(v);
-                let start = graph.row_offset()[v as usize] * bpe;
+                let start = graph.edge_offset(v) * bpe;
                 let len = graph.out_degree(v) * bpe;
                 faulted_pages += self.cache.touch_range(start, len);
             }
@@ -107,7 +107,7 @@ impl UnifiedState {
 mod tests {
     use super::*;
     use crate::activity::analyze_partitions;
-    use hyt_graph::{generators, Frontier, PartitionSet};
+    use hyt_graph::{generators, Csr, Frontier, PartitionSet};
 
     fn setup() -> (Csr, PartitionSet, MachineModel) {
         let g = generators::rmat(9, 8.0, 3, true);
@@ -119,7 +119,7 @@ mod tests {
 
     fn full_acts(g: &Csr, ps: &PartitionSet, m: &MachineModel) -> Vec<PartitionActivity> {
         let f = Frontier::full(g.num_vertices());
-        analyze_partitions(g, ps, &f, &m.pcie, g.bytes_per_edge(), 2)
+        analyze_partitions(g.view(), ps, &f, &m.pcie, g.bytes_per_edge(), 2)
     }
 
     #[test]
@@ -128,8 +128,8 @@ mod tests {
         let mut state = UnifiedState::new(&machine);
         let acts = full_acts(&g, &ps, &machine);
         let refs: Vec<_> = acts.iter().collect();
-        let first = state.plan_unified(&machine, &g, &refs, g.bytes_per_edge());
-        let second = state.plan_unified(&machine, &g, &refs, g.bytes_per_edge());
+        let first = state.plan_unified(&machine, g.view(), &refs, g.bytes_per_edge());
+        let second = state.plan_unified(&machine, g.view(), &refs, g.bytes_per_edge());
         assert!(first.counters.page_faults > 0);
         assert_eq!(second.counters.page_faults, 0);
         assert_eq!(second.transfer_time, 0.0);
@@ -145,8 +145,8 @@ mod tests {
         let mut state = UnifiedState::new(&machine);
         let acts = full_acts(&g, &ps, &machine);
         let refs: Vec<_> = acts.iter().collect();
-        let first = state.plan_unified(&machine, &g, &refs, g.bytes_per_edge());
-        let second = state.plan_unified(&machine, &g, &refs, g.bytes_per_edge());
+        let first = state.plan_unified(&machine, g.view(), &refs, g.bytes_per_edge());
+        let second = state.plan_unified(&machine, g.view(), &refs, g.bytes_per_edge());
         assert!(first.counters.page_faults > 0);
         // Sequential sweep over 4x capacity: LRU refaults nearly all pages.
         assert!(
@@ -164,9 +164,9 @@ mod tests {
         let mut state = UnifiedState::new(&machine);
         let f = Frontier::new(g.num_vertices());
         f.insert(10);
-        let acts = analyze_partitions(&g, &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
+        let acts = analyze_partitions(g.view(), &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
-        let plan = state.plan_unified(&machine, &g, &refs, g.bytes_per_edge());
+        let plan = state.plan_unified(&machine, g.view(), &refs, g.bytes_per_edge());
         if g.out_degree(10) > 0 {
             assert!(plan.counters.um_bytes >= 4096);
             assert!(plan.counters.um_bytes >= g.out_degree(10) * g.bytes_per_edge());
@@ -179,9 +179,9 @@ mod tests {
         let mut state = UnifiedState::new(&machine);
         let acts = full_acts(&g, &ps, &machine);
         let refs: Vec<_> = acts.iter().collect();
-        let first = state.plan_unified(&machine, &g, &refs, g.bytes_per_edge());
+        let first = state.plan_unified(&machine, g.view(), &refs, g.bytes_per_edge());
         state.reset();
-        let again = state.plan_unified(&machine, &g, &refs, g.bytes_per_edge());
+        let again = state.plan_unified(&machine, g.view(), &refs, g.bytes_per_edge());
         assert_eq!(again.counters.page_faults, first.counters.page_faults);
     }
 }

@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn bytes_are_full_cachelines() {
         let (g, ps, f, machine) = setup(11);
-        let acts = analyze_partitions(&g, &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
+        let acts = analyze_partitions(g.view(), &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
         let plan = plan_zero_copy(&machine, &refs);
         let requests: u64 = refs.iter().map(|a| a.zc_requests).sum();
@@ -96,10 +96,10 @@ mod tests {
     #[test]
     fn sparse_frontier_moves_less_than_filter() {
         let (g, ps, f, machine) = setup(97);
-        let acts = analyze_partitions(&g, &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
+        let acts = analyze_partitions(g.view(), &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
         let zc = plan_zero_copy(&machine, &refs);
-        let ef = crate::filter::plan_filter(&machine, &g, &refs, g.bytes_per_edge());
+        let ef = crate::filter::plan_filter(&machine, g.view(), &refs, g.bytes_per_edge());
         assert!(zc.counters.zero_copy_bytes < ef.counters.explicit_bytes);
         assert!(zc.transfer_time < ef.transfer_time);
     }
@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn no_cpu_phase_single_kernel() {
         let (g, ps, f, machine) = setup(13);
-        let acts = analyze_partitions(&g, &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
+        let acts = analyze_partitions(g.view(), &ps, &f, &machine.pcie, g.bytes_per_edge(), 2);
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
         let plan = plan_zero_copy(&machine, &refs);
         assert_eq!(plan.cpu_time, 0.0);

@@ -1,7 +1,7 @@
 //! Mutable edge-list container: the interchange format between generators,
 //! text IO, and [`Csr`] construction.
 
-use crate::{Csr, CsrBuilder, VertexId, Weight};
+use crate::{Csr, CsrBuilder, GraphError, VertexId, Weight, MAX_EDGE_MULTIPLICITY};
 
 /// A growable list of directed, optionally weighted edges.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -60,7 +60,10 @@ impl EdgeList {
         }
     }
 
-    /// Add an unweighted edge. Panics in debug builds on out-of-range ids.
+    /// Add an unweighted edge. Panics in debug builds on out-of-range
+    /// ids — for trusted producers (generators) whose ids are in-range
+    /// by construction. Untrusted input goes through
+    /// [`EdgeList::try_push`].
     pub fn push(&mut self, src: VertexId, dst: VertexId) {
         debug_assert!(src < self.num_vertices && dst < self.num_vertices);
         if self.weighted {
@@ -70,7 +73,8 @@ impl EdgeList {
     }
 
     /// Add a weighted edge. Promotes the list to weighted, back-filling
-    /// earlier edges with weight 1.
+    /// earlier edges with weight 1. Same trust contract as
+    /// [`EdgeList::push`]; see [`EdgeList::try_push_weighted`].
     pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: Weight) {
         debug_assert!(src < self.num_vertices && dst < self.num_vertices);
         if !self.weighted {
@@ -79,6 +83,81 @@ impl EdgeList {
         }
         self.edges.push((src, dst));
         self.weights.push(w);
+    }
+
+    /// Add an unweighted edge, rejecting out-of-range endpoints — the
+    /// checked path for untrusted input (release builds would otherwise
+    /// accept the edge and fail CSR validation much later, or not at
+    /// all).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] when an endpoint is outside
+    /// `0..num_vertices`.
+    pub fn try_push(&mut self, src: VertexId, dst: VertexId) -> Result<(), GraphError> {
+        self.check_range(src)?;
+        self.check_range(dst)?;
+        self.push(src, dst);
+        Ok(())
+    }
+
+    /// Add a weighted edge, rejecting out-of-range endpoints. Checked
+    /// counterpart of [`EdgeList::push_weighted`].
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] when an endpoint is outside
+    /// `0..num_vertices`.
+    pub fn try_push_weighted(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        w: Weight,
+    ) -> Result<(), GraphError> {
+        self.check_range(src)?;
+        self.check_range(dst)?;
+        self.push_weighted(src, dst, w);
+        Ok(())
+    }
+
+    fn check_range(&self, v: VertexId) -> Result<(), GraphError> {
+        if v >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.num_vertices,
+            });
+        }
+        Ok(())
+    }
+
+    /// Convert into CSR after validating the whole list: every endpoint
+    /// in range, and no `(src, dst)` pair repeated beyond
+    /// [`MAX_EDGE_MULTIPLICITY`] (real crawls carry duplicates; a group
+    /// at that scale is corrupt input that would silently blow up the
+    /// degree overlays downstream).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] or
+    /// [`GraphError::DuplicateEdgeOverflow`] on the first violation.
+    pub fn try_to_csr(&self) -> Result<Csr, GraphError> {
+        for &(s, d) in &self.edges {
+            self.check_range(s)?;
+            self.check_range(d)?;
+        }
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable();
+        let mut run = 0u64;
+        for i in 0..sorted.len() {
+            run = if i > 0 && sorted[i] == sorted[i - 1] { run + 1 } else { 1 };
+            if run > MAX_EDGE_MULTIPLICITY {
+                let (src, dst) = sorted[i];
+                let multiplicity =
+                    run + sorted[i + 1..].iter().take_while(|&&e| e == (src, dst)).count() as u64;
+                return Err(GraphError::DuplicateEdgeOverflow { src, dst, multiplicity });
+            }
+        }
+        Ok(self.to_csr())
     }
 
     /// Append the reverse of every edge (making the graph symmetric, the
@@ -178,6 +257,43 @@ mod tests {
         assert_eq!(el.len(), 2);
         assert_eq!(el.edges(), &[(0, 1), (2, 1)]);
         assert_eq!(el.weight(0), 3);
+    }
+
+    #[test]
+    fn try_push_reports_out_of_range_endpoints() {
+        let mut el = EdgeList::new(3);
+        el.try_push(0, 2).unwrap();
+        assert_eq!(
+            el.try_push(0, 3),
+            Err(GraphError::VertexOutOfRange { vertex: 3, num_vertices: 3 })
+        );
+        assert_eq!(
+            el.try_push_weighted(5, 1, 9),
+            Err(GraphError::VertexOutOfRange { vertex: 5, num_vertices: 3 })
+        );
+        // The failed pushes added nothing.
+        assert_eq!(el.len(), 1);
+    }
+
+    #[test]
+    fn try_to_csr_rejects_duplicate_edge_overflow() {
+        let mut el = EdgeList::new(2);
+        for _ in 0..=MAX_EDGE_MULTIPLICITY {
+            el.push(0, 1);
+        }
+        el.push(1, 0);
+        match el.try_to_csr() {
+            Err(GraphError::DuplicateEdgeOverflow { src: 0, dst: 1, multiplicity }) => {
+                assert_eq!(multiplicity, MAX_EDGE_MULTIPLICITY + 1);
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        // At the cap it converts fine.
+        let mut ok = EdgeList::new(2);
+        for _ in 0..MAX_EDGE_MULTIPLICITY {
+            ok.push(0, 1);
+        }
+        assert_eq!(ok.try_to_csr().unwrap().num_edges(), MAX_EDGE_MULTIPLICITY);
     }
 
     #[test]

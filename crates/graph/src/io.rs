@@ -9,7 +9,7 @@
 //! * **text edge list** — `src dst [weight]` per line, `#` comments; the
 //!   interchange format of SNAP/KONECT where the paper's datasets live.
 
-use crate::{Csr, EdgeList, VertexId, Weight};
+use crate::{Csr, EdgeList, GraphError, VertexId, Weight};
 use bytes::{Buf, BufMut};
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -46,25 +46,31 @@ pub fn to_bytes(graph: &Csr) -> Vec<u8> {
 }
 
 /// Deserialise a binary CSR produced by [`to_bytes`].
-pub fn from_bytes(mut data: &[u8]) -> Result<Csr, String> {
+///
+/// # Errors
+///
+/// [`GraphError::Format`] on bad magic/version, truncated payloads, or
+/// violated CSR invariants.
+pub fn from_bytes(mut data: &[u8]) -> Result<Csr, GraphError> {
+    let fail = |reason: String| GraphError::Format { reason };
     if data.len() < 21 {
-        return Err("truncated header".into());
+        return Err(fail("truncated header".into()));
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if magic != MAGIC {
-        return Err(format!("bad magic {magic:?}"));
+        return Err(fail(format!("bad magic {magic:?}")));
     }
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(format!("unsupported version {version}"));
+        return Err(fail(format!("unsupported version {version}")));
     }
     let nv = data.get_u32_le();
     let weighted = data.get_u8() != 0;
     let ne = data.get_u64_le();
     let need = (nv as usize + 1) * 8 + ne as usize * 4 + if weighted { ne as usize * 4 } else { 0 };
     if data.remaining() < need {
-        return Err(format!("truncated body: need {need}, have {}", data.remaining()));
+        return Err(fail(format!("truncated body: need {need}, have {}", data.remaining())));
     }
     let mut row_offset = Vec::with_capacity(nv as usize + 1);
     for _ in 0..=nv {
@@ -83,7 +89,7 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Csr, String> {
     } else {
         None
     };
-    Csr::from_parts(nv, row_offset, col_index, weights)
+    Csr::from_parts(nv, row_offset, col_index, weights).map_err(fail)
 }
 
 /// Write a binary CSR file.
@@ -97,13 +103,20 @@ pub fn load(path: &Path) -> io::Result<Csr> {
     let mut f = std::fs::File::open(path)?;
     let mut buf = Vec::new();
     f.read_to_end(&mut buf)?;
-    from_bytes(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    from_bytes(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 /// Parse a text edge list: one `src dst [weight]` triple per line,
 /// whitespace-separated; lines starting with `#` or `%` are comments.
 /// The vertex id space is `0..=max_id_seen`.
-pub fn parse_edge_list(text: &str) -> Result<EdgeList, String> {
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] with the 1-based line number on malformed
+/// lines; [`GraphError::VertexOutOfRange`] if an id escapes the derived
+/// space (unreachable for well-formed input, but the checked
+/// [`EdgeList::try_push`] path guards it rather than debug-asserting).
+pub fn parse_edge_list(text: &str) -> Result<EdgeList, GraphError> {
     let mut edges: Vec<(VertexId, VertexId, Option<Weight>)> = Vec::new();
     let mut max_id = 0u32;
     for (lineno, line) in text.lines().enumerate() {
@@ -111,22 +124,22 @@ pub fn parse_edge_list(text: &str) -> Result<EdgeList, String> {
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
+        let fail = |reason: String| GraphError::Parse { line: lineno + 1, reason };
         let mut it = line.split_whitespace();
         let src: VertexId = it
             .next()
-            .ok_or_else(|| format!("line {}: missing src", lineno + 1))?
+            .ok_or_else(|| fail("missing src".into()))?
             .parse()
-            .map_err(|e| format!("line {}: bad src ({e})", lineno + 1))?;
+            .map_err(|e| fail(format!("bad src ({e})")))?;
         let dst: VertexId = it
             .next()
-            .ok_or_else(|| format!("line {}: missing dst", lineno + 1))?
+            .ok_or_else(|| fail("missing dst".into()))?
             .parse()
-            .map_err(|e| format!("line {}: bad dst ({e})", lineno + 1))?;
+            .map_err(|e| fail(format!("bad dst ({e})")))?;
         let w = match it.next() {
-            Some(tok) => Some(
-                tok.parse::<Weight>()
-                    .map_err(|e| format!("line {}: bad weight ({e})", lineno + 1))?,
-            ),
+            Some(tok) => {
+                Some(tok.parse::<Weight>().map_err(|e| fail(format!("bad weight ({e})")))?)
+            }
             None => None,
         };
         max_id = max_id.max(src).max(dst);
@@ -136,8 +149,8 @@ pub fn parse_edge_list(text: &str) -> Result<EdgeList, String> {
     let mut el = EdgeList::with_capacity(nv, edges.len());
     for (s, d, w) in edges {
         match w {
-            Some(w) => el.push_weighted(s, d, w),
-            None => el.push(s, d),
+            Some(w) => el.try_push_weighted(s, d, w)?,
+            None => el.try_push(s, d)?,
         }
     }
     Ok(el)
@@ -216,11 +229,23 @@ mod tests {
     }
 
     #[test]
-    fn text_errors_are_located() {
+    fn text_errors_are_located_and_typed() {
         let err = parse_edge_list("0 1\nx 2\n").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
         let err = parse_edge_list("0\n").unwrap_err();
-        assert!(err.contains("missing dst"), "{err}");
+        assert!(err.to_string().contains("missing dst"), "{err}");
+        let err = parse_edge_list("1 2 notaweight\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn binary_errors_are_typed() {
+        assert!(matches!(from_bytes(b"").unwrap_err(), GraphError::Format { .. }));
+        let g = generators::chain(3, true);
+        let mut bytes = to_bytes(&g);
+        bytes.truncate(bytes.len() - 2);
+        assert!(matches!(from_bytes(&bytes).unwrap_err(), GraphError::Format { .. }));
     }
 
     #[test]

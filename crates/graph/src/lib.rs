@@ -14,6 +14,12 @@
 //!   chains) in [`generators`].
 //! * [`datasets`] — deterministic scaled-down proxies of the paper's five
 //!   real-world graphs (SK, TW, FK, UK, FS) plus the RMAT sweep of Fig. 9.
+//! * [`delta_csr`] — streaming mutations: an immutable base CSR plus
+//!   per-partition append-only delta segments (inserts, tombstoned
+//!   deletes, degree overlays), a unified adjacency iterator
+//!   ([`AdjacencyView`]), and a fold back into a fresh base.
+//! * [`error`] — the typed [`GraphError`] every construction and
+//!   mutation path reports through.
 //! * [`partition`] — chunk-based edge-balanced partitioning (Section IV).
 //! * [`placement`] — cost-driven topology-aware partition→device
 //!   placement: the affinity matrix from the CSR cut structure and a
@@ -28,7 +34,9 @@
 pub mod csr;
 pub mod datasets;
 pub mod degree;
+pub mod delta_csr;
 pub mod edgelist;
+pub mod error;
 pub mod frontier;
 pub mod generators;
 pub mod hub_sort;
@@ -39,7 +47,9 @@ pub mod placement;
 pub use csr::{Csr, CsrBuilder};
 pub use datasets::{Dataset, DatasetId};
 pub use degree::{DegreeBucket, DegreeStats};
+pub use delta_csr::{AdjacencyView, DeltaCsr, DeltaEdges, EdgeOp, MutationBatch};
 pub use edgelist::EdgeList;
+pub use error::{GraphError, MAX_EDGE_MULTIPLICITY};
 pub use frontier::Frontier;
 pub use generators::GraphBuilder;
 pub use hub_sort::{hub_sort, HubSortResult};

@@ -1,0 +1,39 @@
+//@path crates/core/src/runner.rs
+use hyt_graph::{Csr, CsrBuilder};
+
+/// BAD: rebuilding base-CSR storage by hand bypasses the delta layer's
+/// pricing, invalidation, and reactivation.
+pub fn rebuild(n: u32, edges: &[(u32, u32)]) -> Csr {
+    let mut b = CsrBuilder::new(n);
+    for &(s, d) in edges {
+        b.add_edge(s, d);
+    }
+    b.build()
+}
+
+/// BAD: `Csr::from_parts` writes the internals directly.
+pub fn splice(ro: Vec<u64>, ci: Vec<u32>) -> Csr {
+    Csr::from_parts(ro, ci, None)
+}
+
+/// Another type's `from_parts` constructor — no finding.
+pub fn elapsed(s: u64, n: u32) -> Duration {
+    Duration::from_parts(s, n)
+}
+
+/// An allow with a reason documents a sanctioned rebuild.
+pub fn oracle(ro: Vec<u64>, ci: Vec<u32>) -> Csr {
+    // hyt-lint: allow(no-direct-csr-mut) -- cold-oracle rebuild for a differential check
+    Csr::from_parts(ro, ci, None)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test fixtures build graphs freely.
+    #[test]
+    fn builds_a_fixture() {
+        let mut b = super::CsrBuilder::new(2);
+        b.add_edge(0, 1);
+        let _ = b.build();
+    }
+}

@@ -11,7 +11,7 @@
 //! is only probed by wall-clock thread races. This crate machine-checks
 //! all of it:
 //!
-//! * [`lints`] — five deny-by-default lexical lints over
+//! * [`lints`] — six deny-by-default lexical lints over
 //!   `crates/*/src/**/*.rs`, built on the hand-rolled scanner in
 //!   [`lexer`] (the environment is offline and vendored, so no `syn`),
 //!   with an explicit in-source allow syntax that must carry a reason.

@@ -1,6 +1,6 @@
 //! The workspace invariant lints.
 //!
-//! Five deny-by-default lints enforce the contracts eight PRs of growth
+//! Six deny-by-default lints enforce the contracts nine PRs of growth
 //! have made load-bearing (see the README's *Static analysis* section
 //! for the rationale of each):
 //!
@@ -11,6 +11,7 @@
 //! | `atomics-allowlist` | atomic types and `Ordering::*` live only in the three files that own the concurrency story (`core/api.rs`, `core/priority.rs`, `graph/frontier.rs`) |
 //! | `float-eq-in-pricing` | no `==`/`!=` on float expressions in cost/selection/topology pricing — bit-identity goes through `to_bits()` |
 //! | `undocumented-pub-const` | tunable `pub const`s carry a doc comment naming their unit |
+//! | `no-direct-csr-mut` | base-CSR storage is built/rebuilt only inside `crates/graph/src/` — everyone else mutates through `MutationBatch`/`DeltaCsr`, and only `compact()` folds deltas back |
 //!
 //! A finding is silenced in-source with an explicit annotation that
 //! must carry a reason:
@@ -33,13 +34,14 @@ use crate::lexer::{tokenize, Tok, TokKind};
 use std::fmt;
 use std::path::Path;
 
-/// Names of the five real lints, in reporting order.
-pub const LINT_NAMES: [&str; 5] = [
+/// Names of the six real lints, in reporting order.
+pub const LINT_NAMES: [&str; 6] = [
     "hardcoded-value-bytes",
     "unwrap-in-lib",
     "atomics-allowlist",
     "float-eq-in-pricing",
     "undocumented-pub-const",
+    "no-direct-csr-mut",
 ];
 
 /// Pseudo-lint reported for unparseable `hyt-lint:` annotations; cannot
@@ -116,6 +118,12 @@ const BYTE_SCOPE_FILES: [&str; 7] = [
 const FLOAT_SCOPE_FILES: [&str; 3] =
     ["core/src/cost.rs", "core/src/select.rs", "sim/src/topology.rs"];
 
+/// The path segment that owns base-CSR storage for `no-direct-csr-mut`:
+/// every file of the graph crate (`csr.rs` defines the builder,
+/// `delta_csr.rs::compact()` is the one sanctioned delta fold, and the
+/// loaders/generators construct initial graphs).
+const CSR_OWNER_SEGMENT: &str = "graph/src/";
+
 const ATOMIC_TYPES: [&str; 12] = [
     "AtomicBool",
     "AtomicU8",
@@ -149,6 +157,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     lint_atomics_allowlist(&file, &mut out);
     lint_float_eq_in_pricing(&file, &mut out);
     lint_undocumented_pub_const(&file, &mut out);
+    lint_no_direct_csr_mut(&file, &mut out);
     out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     out
 }
@@ -671,6 +680,52 @@ fn lint_undocumented_pub_const(file: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `no-direct-csr-mut`: reaching for the base-CSR construction entry
+/// points (`CsrBuilder`, `Csr::from_parts`) in non-test code outside
+/// the graph crate. Since `Csr`'s storage is private, these are the
+/// only routes by which library code can write base-CSR internals —
+/// and rebuilding a CSR by hand bypasses the delta layer's pricing,
+/// dirty-partition invalidation, and reactivation. Streaming changes
+/// go through `MutationBatch`; only `delta_csr.rs::compact()` folds
+/// deltas back into base storage.
+fn lint_no_direct_csr_mut(file: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if file.rel_path.contains(CSR_OWNER_SEGMENT) {
+        return;
+    }
+    for &i in &file.code {
+        let t = &file.toks[i];
+        if file.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = if t.text == "CsrBuilder" {
+            Some("CsrBuilder")
+        } else if t.text == "from_parts" {
+            // Only `Csr::from_parts(` — other types' constructors with
+            // the same method name are not base-CSR writes.
+            let mut prior = file.code.iter().rev().filter(|&&j| j < i);
+            let p1 = prior.next().map(|&j| file.toks[j].text);
+            let p2 = prior.next().map(|&j| file.toks[j].text);
+            let called = file.next_code(i).is_some_and(|n| n.text == "(");
+            (p1 == Some("::") && p2 == Some("Csr") && called).then_some("Csr::from_parts")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            emit(
+                file,
+                out,
+                t.line,
+                "no-direct-csr-mut",
+                format!(
+                    "`{what}` outside `crates/graph/src/` writes base-CSR storage \
+                     directly — stream the change as a `MutationBatch` through the \
+                     delta layer and let `compact()` fold it"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -771,6 +826,32 @@ mod tests {
         assert_eq!(lints_of("crates/core/src/runner.rs", func), vec![]);
         let scoped = "pub(crate) const X: u32 = 3;\n";
         assert_eq!(lints_of("crates/core/src/runner.rs", scoped), vec![]);
+    }
+
+    #[test]
+    fn direct_csr_mut_fires_outside_the_graph_crate() {
+        let builder = "fn f() { let mut b = CsrBuilder::new(4); b.add_edge(0, 1); }\n";
+        assert_eq!(lints_of("crates/core/src/runner.rs", builder), vec![(1, "no-direct-csr-mut")]);
+        // The graph crate owns construction — clean there.
+        assert_eq!(lints_of("crates/graph/src/delta_csr.rs", builder), vec![]);
+        assert_eq!(lints_of("crates/graph/src/csr.rs", builder), vec![]);
+        // Test code builds fixture graphs freely.
+        let in_test = "#[cfg(test)]\nmod tests {\n fn g() { CsrBuilder::new(4); }\n}\n";
+        assert_eq!(lints_of("crates/algos/src/bfs.rs", in_test), vec![]);
+    }
+
+    #[test]
+    fn direct_csr_mut_matches_only_csr_from_parts() {
+        let csr = "fn f() { let g = Csr::from_parts(ro, ci, None); }\n";
+        assert_eq!(lints_of("crates/core/src/runner.rs", csr), vec![(1, "no-direct-csr-mut")]);
+        // Another type's `from_parts` is not a base-CSR write.
+        let other = "fn f() { let d = Duration::from_parts(s, n); }\n";
+        assert_eq!(lints_of("crates/core/src/runner.rs", other), vec![]);
+        // An allow with a reason silences it.
+        let allowed =
+            "// hyt-lint: allow(no-direct-csr-mut) -- oracle rebuild for the check harness\n\
+                       fn f() { let g = Csr::from_parts(ro, ci, None); }\n";
+        assert_eq!(lints_of("crates/bench/src/check.rs", allowed), vec![]);
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() {
     ];
     println!("admission (budget 8.0 sweep-RTTs, queue depth 2):");
     for kind in stream {
-        match service.submit(kind) {
+        match service.submit(kind.clone()) {
             Admission::Admitted { id, quote } => {
                 println!("  #{:<2} {kind:?}: admitted at {:.2} RTTs", id.0, quote.sweep_rtt)
             }
@@ -89,6 +89,13 @@ fn main() {
                     .map(|(v, _)| v)
                     .unwrap();
                 format!("top vertex {top}")
+            }
+            QueryOutput::Mutation(m) => {
+                format!(
+                    "{} ops applied, {} partitions dirtied",
+                    m.applied,
+                    m.dirty_partitions.len()
+                )
             }
         };
         println!(

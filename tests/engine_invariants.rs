@@ -40,7 +40,7 @@ proptest! {
         let machine = MachineModel::paper_platform();
         let parts = PartitionSet::build(&g, 1024);
         let f = arb_frontier(g.num_vertices(), density);
-        let acts = analyze_partitions(&g, &parts, &f, &machine.pcie, g.bytes_per_edge(), 4);
+        let acts = analyze_partitions(g.view(), &parts, &f, &machine.pcie, g.bytes_per_edge(), 4);
         let total_active: u64 = acts.iter().map(|a| a.active_vertices.len() as u64).sum();
         prop_assert_eq!(total_active, f.count());
         let total_edges: u64 = acts.iter().map(|a| a.total_edges).sum();
@@ -62,9 +62,9 @@ proptest! {
         let parts = PartitionSet::build(&g, 1024);
         let f = arb_frontier(g.num_vertices(), density);
         let bpe = g.bytes_per_edge();
-        let acts = analyze_partitions(&g, &parts, &f, &machine.pcie, bpe, 2);
+        let acts = analyze_partitions(g.view(), &parts, &f, &machine.pcie, bpe, 2);
         for a in acts.iter().filter(|a| a.is_active()) {
-            let plan = filter::plan_filter(&machine, &g, &[a], bpe);
+            let plan = filter::plan_filter(&machine, g.view(), &[a], bpe);
             // Counters: the whole partition ships, regardless of activity.
             prop_assert_eq!(plan.counters.explicit_bytes, a.total_edges * bpe);
             // Time: latency + ceil-TLPs x RTT.
@@ -84,12 +84,12 @@ proptest! {
         let parts = PartitionSet::build(&g, 1024);
         let f = arb_frontier(g.num_vertices(), density);
         let bpe = g.bytes_per_edge();
-        let acts = analyze_partitions(&g, &parts, &f, &machine.pcie, bpe, 2);
+        let acts = analyze_partitions(g.view(), &parts, &f, &machine.pcie, bpe, 2);
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
         if refs.is_empty() {
             return Ok(());
         }
-        let plan = compaction::plan_compaction(&machine, &g, &refs, bpe, 4);
+        let plan = compaction::plan_compaction(&machine, g.view(), &refs, bpe, 4);
         let c = plan.compacted.as_ref().unwrap();
         // The gather holds exactly the active edges.
         let want_edges: u64 = refs.iter().map(|a| a.active_edges).sum();
@@ -108,7 +108,7 @@ proptest! {
         let parts = PartitionSet::build(&g, 1024);
         let f = arb_frontier(g.num_vertices(), density);
         let bpe = g.bytes_per_edge();
-        let acts = analyze_partitions(&g, &parts, &f, &machine.pcie, bpe, 2);
+        let acts = analyze_partitions(g.view(), &parts, &f, &machine.pcie, bpe, 2);
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
         let plan = zero_copy::plan_zero_copy(&machine, &refs);
         let requests: u64 = refs.iter().map(|a| a.zc_requests).sum();
@@ -125,10 +125,10 @@ proptest! {
         let parts = PartitionSet::build(&g, 1024);
         let f = arb_frontier(g.num_vertices(), density);
         let bpe = g.bytes_per_edge();
-        let acts = analyze_partitions(&g, &parts, &f, &machine.pcie, bpe, 2);
+        let acts = analyze_partitions(g.view(), &parts, &f, &machine.pcie, bpe, 2);
         let refs: Vec<_> = acts.iter().filter(|a| a.is_active()).collect();
         let mut state = UnifiedState::new(&machine);
-        let plan = state.plan_unified(&machine, &g, &refs, bpe);
+        let plan = state.plan_unified(&machine, g.view(), &refs, bpe);
         // With ample budget: first touch faults at most one page span per
         // active vertex, at least the payload's pages.
         let page = machine.um.page_bytes;
@@ -144,7 +144,7 @@ proptest! {
         prop_assert!(plan.counters.page_faults <= max_spans);
         prop_assert!(plan.counters.page_faults * page >= payload.min(plan.counters.um_bytes));
         // Second pass over identical refs is all hits.
-        let second = state.plan_unified(&machine, &g, &refs, bpe);
+        let second = state.plan_unified(&machine, g.view(), &refs, bpe);
         prop_assert_eq!(second.counters.page_faults, 0);
     }
 
@@ -157,8 +157,8 @@ proptest! {
         let bpe = g.bytes_per_edge();
         let sparse = arb_frontier(g.num_vertices(), 6); // every 7th vertex
         let dense = Frontier::full(g.num_vertices());
-        let a1 = analyze_partitions(&g, &parts, &sparse, &machine.pcie, bpe, 2);
-        let a2 = analyze_partitions(&g, &parts, &dense, &machine.pcie, bpe, 2);
+        let a1 = analyze_partitions(g.view(), &parts, &sparse, &machine.pcie, bpe, 2);
+        let a2 = analyze_partitions(g.view(), &parts, &dense, &machine.pcie, bpe, 2);
         for (s, d) in a1.iter().zip(&a2) {
             let cs: cost::PartitionCosts = partition_costs(s, &machine.pcie, bpe);
             let cd: cost::PartitionCosts = partition_costs(d, &machine.pcie, bpe);

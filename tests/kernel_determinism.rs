@@ -46,8 +46,15 @@ fn sweep(g: &Csr, active: &[VertexId], threads: usize) -> (Vec<u32>, Vec<VertexI
     let values = Values::init(&MinRelax, nv);
     let next = Frontier::new(nv);
     let snap = values.snapshot();
-    let stats =
-        run_kernel(&MinRelax, EdgeSource::Csr(g), active, &values, &next, Some(&snap), threads);
+    let stats = run_kernel(
+        &MinRelax,
+        EdgeSource::Graph(g.view()),
+        active,
+        &values,
+        &next,
+        Some(&snap),
+        threads,
+    );
     (values.snapshot(), next.to_vec(), stats)
 }
 
@@ -91,7 +98,7 @@ fn multi_round_snapshot_sweeps_identical_on_random_graph() {
             let snap = values.snapshot();
             let s = run_kernel(
                 &MinRelax,
-                EdgeSource::Csr(&g),
+                EdgeSource::Graph(g.view()),
                 &active,
                 &values,
                 &next,
@@ -115,7 +122,7 @@ fn multi_round_snapshot_sweeps_identical_on_random_graph() {
 fn compacted_source_is_equally_deterministic() {
     let g = generators::rmat(10, 6.0, 9, true);
     let active: Vec<u32> = (0..g.num_vertices()).step_by(2).collect();
-    let compacted = hytgraph::engines::compaction::compact(&g, &active, 4);
+    let compacted = hytgraph::engines::compaction::compact(g.view(), &active, 4);
     let nv = g.num_vertices();
     let run = |threads: usize| {
         let values = Values::init(&MinRelax, nv);

@@ -282,7 +282,7 @@ fn session_service_with_migration_stays_bit_identical_across_interleaved_runs() 
     let mut off = mk(false);
     for round in 0..3 {
         for kind in [QueryKind::Bfs(3), QueryKind::Sssp(17), QueryKind::Bfs(44)] {
-            on.submit(kind);
+            on.submit(kind.clone());
             off.submit(kind);
         }
         let a = on.drain();

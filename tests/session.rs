@@ -233,13 +233,13 @@ fn real_quotes_drive_admission_queueing_and_rejection() {
         AlgoBackend,
         SessionConfig { max_batch: 2, admission_budget: f64::INFINITY, max_queue: 1 },
     );
-    let bfs_quote = svc.quote(QueryKind::Bfs(0));
+    let bfs_quote = svc.quote(&QueryKind::Bfs(0));
     assert!(bfs_quote.sweep_rtt > 0.0);
     // SSSP ships weights (8 edge bytes vs 4): strictly dearer. HyperBall's
     // wide values only surface where compaction would win, so its quote is
     // never *cheaper* than BFS at the same edge bytes.
-    assert!(svc.quote(QueryKind::Sssp(0)).sweep_rtt > bfs_quote.sweep_rtt);
-    assert!(svc.quote(QueryKind::HyperBall).sweep_rtt >= bfs_quote.sweep_rtt);
+    assert!(svc.quote(&QueryKind::Sssp(0)).sweep_rtt > bfs_quote.sweep_rtt);
+    assert!(svc.quote(&QueryKind::HyperBall).sweep_rtt >= bfs_quote.sweep_rtt);
 
     // Budget admits exactly two BFS quotes.
     let sys = HyTGraphSystem::new(g, cfg(2, TopologyKind::Ring));
@@ -288,4 +288,128 @@ fn real_quotes_drive_admission_queueing_and_rejection() {
         a => panic!("expected an over-budget rejection, got {a:?}"),
     }
     assert!(tight.run_next().is_none());
+}
+
+/// ISSUE satellite: fairness of mutation requests in mixed streams.
+/// A [`QueryKind::Mutate`] is a FIFO barrier — it must never overtake a
+/// query admitted before it, and (the starvation side) no query admitted
+/// after it may be pulled into an earlier cohort past it: the number of
+/// cohorts that run before the mutation is bounded by the number of
+/// earlier admissions. It also always runs alone.
+mod mutation_fairness {
+    use super::*;
+    use hytgraph::graph::MutationBatch;
+    use std::collections::BTreeSet;
+
+    /// Scripted stream entry: selector plus raw operands, folded into
+    /// valid queries/batches against a shadow edge set at build time.
+    type Cmd = (u8, u32, u32, u32);
+
+    fn check_stream(script: Vec<Cmd>) {
+        let g = generators::rmat(8, 6.0, 21, true);
+        let nv = g.num_vertices();
+        let mut present: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for v in 0..nv {
+            for &d in g.neighbors(v) {
+                present.insert((v, d));
+            }
+        }
+        let mut pool: Vec<(u32, u32)> = present.iter().copied().collect();
+        let sys = HyTGraphSystem::new(g, cfg(2, TopologyKind::Ring));
+        let scfg = SessionConfig { max_batch: 4, admission_budget: 1e12, max_queue: 1024 };
+        let mut svc = SessionService::new(sys, AlgoBackend, scfg);
+
+        let mut expected_ops: Vec<usize> = Vec::new();
+        for (sel, a, b, w) in script {
+            let kind = match sel % 3 {
+                0 => QueryKind::Bfs(a % nv),
+                1 => QueryKind::Sssp(a % nv),
+                _ => {
+                    let mut batch = MutationBatch::new();
+                    if b % 2 == 0 && !pool.is_empty() {
+                        // Delete an edge the shadow still holds: at least
+                        // one live occurrence is guaranteed.
+                        let (s, d) = pool.swap_remove(a as usize % pool.len());
+                        present.remove(&(s, d));
+                        batch.delete(s, d);
+                    } else {
+                        let (s, d) = (a % nv, b % nv);
+                        if present.insert((s, d)) {
+                            pool.push((s, d));
+                        }
+                        batch.insert_weighted(s, d, w);
+                    }
+                    expected_ops.push(batch.len());
+                    QueryKind::Mutate(batch)
+                }
+            };
+            assert!(matches!(svc.submit(kind), Admission::Admitted { .. }));
+        }
+        let done = svc.drain();
+
+        let mut mutations: Vec<(u64, u64)> = Vec::new(); // (id, batch)
+        for q in &done {
+            if let QueryKind::Mutate(_) = q.kind {
+                assert_eq!(q.stats.batch_width, 1, "a mutation must run alone");
+                mutations.push((q.id.0, q.stats.batch));
+                match &q.output {
+                    QueryOutput::Mutation(m) => {
+                        assert!(m.error.is_none(), "scripted ops are valid: {:?}", m.error);
+                    }
+                    o => panic!("expected a mutation outcome, got {o:?}"),
+                }
+            }
+        }
+        let applied: Vec<usize> = done
+            .iter()
+            .filter_map(|q| match (&q.kind, &q.output) {
+                (QueryKind::Mutate(_), QueryOutput::Mutation(m)) => Some(m.applied),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(applied, expected_ops, "every scripted op must apply");
+
+        for &(mid, mbatch) in &mutations {
+            let earlier = done.iter().filter(|q| q.id.0 < mid).count() as u64;
+            for q in &done {
+                if q.id.0 < mid {
+                    assert!(
+                        q.stats.batch < mbatch,
+                        "mutation {mid} (batch {mbatch}) overtook query {} (batch {})",
+                        q.id.0,
+                        q.stats.batch
+                    );
+                } else if q.id.0 > mid {
+                    assert!(
+                        q.stats.batch > mbatch,
+                        "query {} (batch {}) jumped the mutation barrier {mid} (batch {mbatch})",
+                        q.id.0,
+                        q.stats.batch
+                    );
+                }
+            }
+            // Starvation bound: every cohort ahead of the mutation holds
+            // at least one earlier-admitted query.
+            assert!(mbatch <= earlier + 1, "mutation {mid} starved: batch {mbatch} of {earlier}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn mutations_never_overtake_and_never_starve(
+            script in proptest::collection::vec((0u8..6, any::<u32>(), any::<u32>(), 1u32..32), 4..20),
+        ) {
+            check_stream(script);
+        }
+    }
+
+    #[test]
+    fn coalesced_cohort_does_not_reach_past_a_mutation() {
+        // Deterministic spot check of the exact barrier shape: four
+        // coalescible BFS queries straddle a mutation; the first cohort
+        // may only take the two in front of it.
+        check_stream(vec![(0, 1, 0, 1), (0, 2, 0, 1), (2, 3, 1, 5), (0, 4, 0, 1), (0, 5, 0, 1)]);
+    }
 }
